@@ -1,0 +1,36 @@
+"""Benchmark: regenerate Figures 4-6 (access time vs slow-down)."""
+
+from conftest import save_result
+
+from repro.experiments import get_runner
+
+
+def test_figures_4_to_6(benchmark):
+    result = benchmark.pedantic(
+        get_runner("figures"), rounds=1, iterations=1
+    )
+    path = save_result(result)
+    print(result.render())
+    print(f"[written to {path}]")
+
+    for trace, series in result.data.items():
+        for pair, cell in series.items():
+            # V-R curve flat, R-R curve strictly rising.
+            assert cell["vr_times"][0] == cell["vr_times"][-1]
+            assert cell["rr_times"][-1] > cell["rr_times"][0]
+
+    # Rare-switch traces: the curves essentially coincide at zero
+    # slow-down (paper: 'the points on the y-axis are the same').
+    for trace in ("thor", "pops"):
+        for pair, cell in result.data[trace].items():
+            gap = abs(cell["vr_times"][0] - cell["rr_times"][0])
+            assert gap / cell["rr_times"][0] < 0.04, (trace, pair)
+
+    # Frequent-switch trace: V-R starts slower, so the crossover is a
+    # positive single-digit slow-down percentage (paper: ~6 %).
+    crossovers = [
+        result.data["abaqus"][pair]["crossover"]
+        for pair in result.data["abaqus"]
+    ]
+    assert any(c > 0 for c in crossovers)
+    assert all(c < 0.15 for c in crossovers)

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Table 1 (writes due to procedure calls)."""
+
+from conftest import save_result
+
+from repro.experiments import get_runner
+
+
+def test_table1(benchmark):
+    result = benchmark.pedantic(
+        get_runner("table1"), rounds=1, iterations=1
+    )
+    path = save_result(result)
+    print(result.render())
+    print(f"[written to {path}]")
+
+    # Paper shape: roughly 30 % of all writes come from procedure
+    # calls, and 6-write register saves are the most common burst.
+    assert 0.2 < result.data["call_fraction"] < 0.45
+    bursts = result.data["per_call"]
+    assert max(bursts, key=bursts.get) in (6, 9)
+    assert all(burst >= 6 for burst, count in bursts.items() if count > 10)

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Table 2 (write-through inter-write intervals)."""
+
+from conftest import save_result
+
+from repro.experiments import get_runner
+
+
+def test_table2(benchmark):
+    result = benchmark.pedantic(
+        get_runner("table2"), rounds=1, iterations=1
+    )
+    path = save_result(result)
+    print(result.render())
+    print(f"[written to {path}]")
+
+    intervals = result.data["intervals"]
+    # Paper shape: interval 1 is the biggest single short bucket (the
+    # call-burst back-to-back writes) and short intervals are plentiful
+    # enough to demand several write buffers.
+    short_counts = [intervals[str(i)] for i in range(1, 10)]
+    assert intervals["1"] == max(short_counts)
+    assert sum(short_counts) > 0.2 * sum(intervals.values())

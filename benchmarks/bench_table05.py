@@ -1,0 +1,38 @@
+"""Benchmark: regenerate Table 5 (trace characteristics)."""
+
+from conftest import save_result
+
+from repro.experiments import get_runner
+from repro.trace.workloads import get_spec
+
+
+def test_table5(benchmark):
+    result = benchmark.pedantic(
+        get_runner("table5"), rounds=1, iterations=1
+    )
+    path = save_result(result)
+    print(result.render())
+    print(f"[written to {path}]")
+
+    # Shape: CPU counts and reference mixes match the paper's Table 5.
+    assert result.data["thor"]["n_cpus"] == 4
+    assert result.data["pops"]["n_cpus"] == 4
+    assert result.data["abaqus"]["n_cpus"] == 2
+    for trace in ("thor", "pops", "abaqus"):
+        spec = get_spec(trace)
+        measured = result.data[trace]
+        total = measured["total_refs"]
+        assert abs(measured["instr_count"] / total - spec.instr_frac) < 0.02
+        assert abs(measured["data_read"] / total - spec.read_frac) < 0.02
+    # abaqus switches far more often per reference than the others.
+    abaqus_rate = (
+        result.data["abaqus"]["context_switches"]
+        / result.data["abaqus"]["total_refs"]
+    )
+    pops_rate = (
+        result.data["pops"]["context_switches"]
+        / result.data["pops"]["total_refs"]
+    )
+    # (At full scale the factor is ~115; tiny scales keep a minimum of
+    # one switch per trace, which compresses it.)
+    assert abaqus_rate > 8 * pops_rate

@@ -1,0 +1,51 @@
+"""Benchmark: regenerate Table 6 (V-R vs R-R hit ratios)."""
+
+from conftest import save_result
+
+from repro.experiments import get_runner
+
+#: Paper values for reference in the shape assertions.
+PAPER_H1_VR = {
+    ("thor", "4K/64K"): 0.925,
+    ("pops", "4K/64K"): 0.928,
+    ("abaqus", "4K/64K"): 0.852,
+    ("thor", "16K/256K"): 0.968,
+    ("pops", "16K/256K"): 0.954,
+    ("abaqus", "16K/256K"): 0.888,
+}
+
+
+def test_table6(benchmark):
+    result = benchmark.pedantic(
+        get_runner("table6"), rounds=1, iterations=1
+    )
+    path = save_result(result)
+    print(result.render())
+    print(f"[written to {path}]")
+
+    grid = result.data
+    # Shape 1: V-R and R-R level-1 hit ratios nearly identical for the
+    # rare-switch traces.
+    for trace in ("thor", "pops"):
+        for pair in ("4K/64K", "8K/128K"):
+            cell = grid[trace][pair]
+            assert abs(cell["h1_vr"] - cell["h1_rr"]) < 0.01
+
+    # Shape 2: for the frequent-switch trace, R-R is better at level 1
+    # and the gap grows with the V-cache size.
+    small_gap = grid["abaqus"]["4K/64K"]["h1_rr"] - grid["abaqus"]["4K/64K"]["h1_vr"]
+    large_gap = (
+        grid["abaqus"]["16K/256K"]["h1_rr"] - grid["abaqus"]["16K/256K"]["h1_vr"]
+    )
+    assert small_gap >= 0
+    assert large_gap > small_gap
+
+    # Shape 3: absolute levels land near the paper's Table 6.
+    for (trace, pair), paper in PAPER_H1_VR.items():
+        assert abs(grid[trace][pair]["h1_vr"] - paper) < 0.05, (trace, pair)
+
+    # Shape 4: hit ratios rise with cache size.
+    for trace in grid:
+        assert (
+            grid[trace]["16K/256K"]["h1_vr"] > grid[trace]["4K/64K"]["h1_vr"]
+        )

@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Table 7 (small first-level caches)."""
+
+from conftest import save_result
+
+from repro.experiments import get_runner
+
+
+def test_table7(benchmark):
+    result = benchmark.pedantic(
+        get_runner("table7"), rounds=1, iterations=1
+    )
+    path = save_result(result)
+    print(result.render())
+    print(f"[written to {path}]")
+
+    grid = result.data
+    # Paper shape: for .5K-2K first-level caches the V-R and R-R hit
+    # ratios are nearly identical on EVERY trace — even the
+    # frequent-switch one (the small cache refills quickly).
+    for trace in grid:
+        for pair in grid[trace]:
+            cell = grid[trace][pair]
+            assert abs(cell["h1_vr"] - cell["h1_rr"]) < 0.02, (trace, pair)
+    # And h1 is much lower than with the Table 6 sizes.
+    assert grid["pops"][".5K/64K"]["h1_vr"] < 0.90
+    # h2 is higher: the tiny level 1 leaves plenty for level 2 to catch.
+    assert grid["pops"][".5K/64K"]["h2_vr"] > grid["pops"]["2K/256K"]["h2_vr"] - 0.05

@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Tables 8-10 (split I/D vs unified level 1)."""
+
+from conftest import save_result
+
+from repro.experiments import get_runner
+
+
+def test_tables_8_to_10(benchmark):
+    result = benchmark.pedantic(
+        get_runner("table8_10"), rounds=1, iterations=1
+    )
+    path = save_result(result)
+    print(result.render())
+    print(f"[written to {path}]")
+
+    # Paper shape: split I/D hit ratios are very close to unified —
+    # and not necessarily worse.
+    for trace, cells in result.data.items():
+        for pair, cell in cells.items():
+            assert abs(cell["overall_split"] - cell["overall_unified"]) < 0.03, (
+                trace,
+                pair,
+            )
+        # Instruction hit ratios benefit most from the dedicated cache
+        # somewhere in the sweep (paper: split instr often wins).
+    split_wins = sum(
+        1
+        for cells in result.data.values()
+        for cell in cells.values()
+        if cell["instr_split"] >= cell["instr_unified"] - 0.01
+    )
+    assert split_wins >= 5  # of 9 trace/size combinations

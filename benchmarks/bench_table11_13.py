@@ -1,0 +1,34 @@
+"""Benchmark: regenerate Tables 11-13 (coherence messages to level 1)."""
+
+from conftest import save_result
+
+from repro.experiments import get_runner
+
+
+def test_tables_11_to_13(benchmark):
+    result = benchmark.pedantic(
+        get_runner("table11_13"), rounds=1, iterations=1
+    )
+    path = save_result(result)
+    print(result.render())
+    print(f"[written to {path}]")
+
+    for trace, cells in result.data.items():
+        for pair, cell in cells.items():
+            vr = sum(cell["VR"])
+            rr_incl = sum(cell["RR(incl)"])
+            rr_no = sum(cell["RR(no incl)"])
+            # Headline shape: no-inclusion forwards several times more
+            # coherence traffic to level 1 than either shielded design.
+            assert rr_no > 2 * vr, (trace, pair)
+            assert rr_no > 2 * rr_incl, (trace, pair)
+            # And the two shielded designs are in the same ballpark.
+            assert vr < 3 * max(rr_incl, 1), (trace, pair)
+
+    # The 4-CPU traces show a stronger shielding factor than the
+    # 2-CPU trace (paper section 4, last paragraph).
+    def factor(trace):
+        cell = result.data[trace]["4K/64K"]
+        return sum(cell["RR(no incl)"]) / max(sum(cell["VR"]), 1)
+
+    assert max(factor("pops"), factor("thor")) > factor("abaqus") * 0.8

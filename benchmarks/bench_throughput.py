@@ -1,0 +1,86 @@
+"""Microbenchmarks: simulator building-block throughput.
+
+Unlike the table benchmarks (one-shot artefact regeneration), these
+use pytest-benchmark's normal multi-round timing to track the cost of
+the inner loops: trace generation, single-hierarchy access, and the
+full multiprocessor step.
+"""
+
+import itertools
+
+from repro.coherence.bus import Bus, MainMemory
+from repro.hierarchy.config import HierarchyConfig, HierarchyKind
+from repro.hierarchy.twolevel import TwoLevelHierarchy
+from repro.mmu.address_space import MemoryLayout
+from repro.system.multiprocessor import Multiprocessor
+from repro.trace.record import RefKind
+from repro.trace.synthetic import SyntheticWorkload, WorkloadSpec
+
+N_REFS = 20_000
+
+
+def _spec(**overrides) -> WorkloadSpec:
+    defaults = dict(
+        name="bench", n_cpus=2, total_refs=N_REFS, context_switches=4,
+        seed=7, text_pages=8, data_pages=32,
+    )
+    defaults.update(overrides)
+    return WorkloadSpec(**defaults)
+
+
+def test_trace_generation_rate(benchmark):
+    def generate():
+        return sum(1 for _ in SyntheticWorkload(_spec()))
+
+    produced = benchmark(generate)
+    assert produced >= N_REFS
+
+
+def test_hierarchy_access_rate(benchmark):
+    workload = SyntheticWorkload(_spec(n_cpus=1, context_switches=0))
+    records = [r for r in workload if r.is_memory]
+
+    def run():
+        hier = TwoLevelHierarchy(
+            HierarchyConfig.sized("4K", "64K"),
+            workload.layout,
+            Bus(MainMemory()),
+            next_version=itertools.count(1).__next__,
+        )
+        for record in records:
+            hier.access(record.pid, record.vaddr, record.kind)
+        return hier.stats.l1_refs()
+
+    assert benchmark(run) == len(records)
+
+
+def test_multiprocessor_step_rate(benchmark):
+    workload = SyntheticWorkload(_spec())
+    records = workload.records()
+
+    def run():
+        machine = Multiprocessor(
+            workload.layout, 2, HierarchyConfig.sized("4K", "64K")
+        )
+        return machine.run(records).refs_processed
+
+    assert benchmark(run) == N_REFS
+
+
+def test_rr_no_inclusion_snoop_rate(benchmark):
+    """The no-inclusion snoop path probes level 1 on every coherence
+    transaction — track that it stays affordable."""
+    workload = SyntheticWorkload(_spec())
+    records = workload.records()
+
+    def run():
+        machine = Multiprocessor(
+            workload.layout,
+            2,
+            HierarchyConfig.sized(
+                "4K", "64K", kind=HierarchyKind.RR_NO_INCLUSION
+            ),
+        )
+        return machine.run(records).refs_processed
+
+    assert benchmark(run) == N_REFS

@@ -1,0 +1,26 @@
+"""Benchmark-harness plumbing.
+
+Each benchmark regenerates one table or figure of the paper at the
+scale given by ``$REPRO_SCALE`` (default 0.1 of the paper's trace
+lengths), asserts the paper's qualitative shape, and writes the
+rendered artefact to ``benchmarks/results/<id>.txt`` so the output
+survives pytest's capture.
+
+Simulations are memoised across benchmarks within the session (the
+same machinery the runners share), so artefacts that reuse runs —
+Table 6, Figures 4-6 and Tables 11-13 overlap — are not re-simulated.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def save_result(result) -> Path:
+    """Write a rendered ExperimentResult under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{result.experiment_id}.txt"
+    path.write_text(result.render() + "\n", encoding="utf-8")
+    return path

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Measure the R-cache's shielding of the V-cache from bus traffic.
+
+Runs the thor surrogate (4 CPUs) through all three organisations the
+paper compares and prints, per CPU, how many coherence messages had to
+be forwarded to the first-level cache — the experiment behind the
+paper's Tables 11-13.
+
+Run:  python examples/coherence_shielding.py [scale]
+"""
+
+import sys
+
+from repro import HierarchyConfig, HierarchyKind, Multiprocessor, make_workload
+from repro.perf.tables import render
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.02
+    rows = []
+    per_kind_totals = {}
+    for kind in (
+        HierarchyKind.VR,
+        HierarchyKind.RR_INCLUSION,
+        HierarchyKind.RR_NO_INCLUSION,
+    ):
+        workload = make_workload("thor", scale)
+        config = HierarchyConfig.sized("4K", "64K", kind=kind)
+        machine = Multiprocessor(workload.layout, workload.spec.n_cpus, config)
+        result = machine.run(workload)
+        counts = [stats.coherence_to_l1() for stats in result.per_cpu]
+        per_kind_totals[kind] = sum(counts)
+        rows.append([kind.value, *counts, sum(counts)])
+
+    n_cpus = len(rows[0]) - 2
+    headers = ["organisation"] + [f"cpu{i}" for i in range(n_cpus)] + ["total"]
+    print(render(headers, rows,
+                 title=f"Coherence messages to level 1 (thor, scale={scale:g})"))
+
+    shield_factor = per_kind_totals[HierarchyKind.RR_NO_INCLUSION] / max(
+        per_kind_totals[HierarchyKind.VR], 1
+    )
+    print(
+        f"\nWithout inclusion, the first-level cache sees "
+        f"{shield_factor:.1f}x more coherence traffic than the V-R design."
+    )
+    print("Inclusion (V-R or R-R) lets the second level absorb the rest.")
+
+
+if __name__ == "__main__":
+    main()

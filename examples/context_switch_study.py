@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Study how context-switch frequency erodes a virtual cache's edge.
+
+Sweeps the context-switch rate of a synthetic workload, measuring the
+level-1 hit ratio of the V-R hierarchy (flushed at every switch) and
+the R-R hierarchy (unaffected), then applies the paper's timing model
+to find the translation slow-down at which V-R wins anyway — the
+crossover of Figures 4-6.
+
+Also demonstrates the swapped-valid bit: the lazy write-backs it
+spreads out versus the burst an eager flush would pay.
+
+Run:  python examples/context_switch_study.py
+"""
+
+from dataclasses import replace
+
+from repro import HierarchyConfig, HierarchyKind, Multiprocessor
+from repro.perf.model import HitRatios, TimingParams, crossover_slowdown
+from repro.perf.tables import render
+from repro.trace.synthetic import SyntheticWorkload
+from repro.trace.workloads import get_spec
+
+
+def run(kind: HierarchyKind, switches: int):
+    spec = replace(get_spec("abaqus", 0.02), context_switches=switches)
+    workload = SyntheticWorkload(spec)
+    config = HierarchyConfig.sized("16K", "256K", kind=kind)
+    machine = Multiprocessor(workload.layout, spec.n_cpus, config)
+    return machine.run(workload)
+
+
+def main() -> None:
+    timing = TimingParams(t1=1.0, t2=4.0, tm=12.0)
+    rows = []
+    for switches in (0, 5, 20, 80, 320):
+        vr = run(HierarchyKind.VR, switches)
+        rr = run(HierarchyKind.RR_INCLUSION, switches)
+        crossover = crossover_slowdown(
+            HitRatios(vr.h1, vr.h2), HitRatios(rr.h1, rr.h2), timing
+        )
+        totals = vr.aggregate()
+        rows.append(
+            [
+                switches,
+                f"{vr.h1:.3f}",
+                f"{rr.h1:.3f}",
+                f"{rr.h1 - vr.h1:+.3f}",
+                f"{crossover * 100:+.1f}%",
+                totals.counters["swapped_writebacks"],
+                totals.counters["writeback_stalls"],
+            ]
+        )
+    print(
+        render(
+            [
+                "switches",
+                "h1 V-R",
+                "h1 R-R",
+                "R-R edge",
+                "crossover slow-down",
+                "swapped write-backs",
+                "buffer stalls",
+            ],
+            rows,
+            title="Context-switch sweep (abaqus surrogate, 16K/256K)",
+        )
+    )
+    print(
+        "\nReading the table: with rare switches V-R matches R-R and any\n"
+        "translation penalty favours V-R (negative crossover).  As switches\n"
+        "become frequent, R-R gains a level-1 edge and V-R needs a positive\n"
+        "translation slow-down to win — the paper puts the realistic value\n"
+        "at 6 % or more, so V-R still comes out ahead.  Swapped write-backs\n"
+        "grow with the switch rate, yet buffer stalls stay near zero: the\n"
+        "swapped-valid bit spreads them out (paper Table 3)."
+    )
+
+
+if __name__ == "__main__":
+    main()

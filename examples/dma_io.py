@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Coherent I/O against the virtual-real hierarchy.
+
+Problem 4 of the paper's introduction: I/O devices use physical
+addresses, which a purely virtual cache can't match without reverse
+translation.  In the V-R organisation the physically-addressed
+R-cache snoops DMA traffic like any other bus transaction and uses
+its v-pointers to reach into the V-cache only when necessary.
+
+The script writes a "file buffer" from the CPU, lets a DMA device
+read it out (flushing dirty V-cache data on the fly), then has the
+device deposit fresh data that the CPU picks up — all without any
+software cache management.
+
+Run:  python examples/dma_io.py
+"""
+
+import itertools
+
+from repro import Bus, HierarchyConfig, MainMemory, MemoryLayout, RefKind
+from repro.hierarchy import TwoLevelHierarchy
+from repro.system import DMAEngine
+
+BUFFER_VADDR = 0x40000
+BUFFER_BYTES = 128
+
+
+def main() -> None:
+    layout = MemoryLayout()
+    layout.add_private_segment(1, "iobuf", BUFFER_VADDR, n_pages=1)
+    bus = Bus(MainMemory())
+    cpu = TwoLevelHierarchy(
+        HierarchyConfig.sized("4K", "64K"), layout, bus,
+        next_version=itertools.count(1).__next__,
+    )
+    dma = DMAEngine.for_config(bus, cpu.config.l1)
+    buffer_paddr = layout.translate(1, BUFFER_VADDR)
+
+    print("1) CPU fills the buffer (write-back V-cache: data stays dirty)")
+    for offset in range(0, BUFFER_BYTES, 16):
+        cpu.access(1, BUFFER_VADDR + offset, RefKind.WRITE)
+    dirty = sum(
+        1 for block in cpu.l1_caches[0].store.present_blocks() if block.dirty
+    )
+    print(f"   dirty V-cache blocks: {dirty}, memory still stale")
+
+    print("2) device DMA-reads the buffer (physical addresses)")
+    versions = dma.read(buffer_paddr, BUFFER_BYTES)
+    flushes = cpu.stats.counters["l1_coherence_flushes"]
+    print(f"   device saw versions {versions[:3]}... "
+          f"({flushes} V-cache flushes via v-pointers)")
+    print(f"   memory now current: "
+          f"{bus.memory.peek(buffer_paddr >> 4) == versions[0]}")
+
+    print("3) device DMA-writes new data into the buffer")
+    dma.write(buffer_paddr, BUFFER_BYTES, version=999_999)
+    invalidations = cpu.stats.counters["l1_coherence_invalidations"]
+    print(f"   stale V-cache copies invalidated: {invalidations}")
+
+    print("4) CPU reads the buffer back")
+    result = cpu.access(1, BUFFER_VADDR, RefKind.READ)
+    print(f"   CPU observes the device's data: "
+          f"{result.version == 999_999} (outcome: {result.outcome.value})")
+
+    print("\nNo reverse-translation hardware at level 1, no software "
+          "flushes —\nthe physically-addressed second level handled the "
+          "entire exchange.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Walk through the paper's synonym-handling machinery, step by step.
+
+Two virtual names for the same physical block are created with a
+shared mapping; the script then drives the hierarchy through each of
+the paper's resolution paths and shows what the tag stores did:
+
+1. *sameset* — the synonym lands in the same V-cache set: the block is
+   re-tagged in place, no data moves, a pending write-back is
+   cancelled.
+2. *move* — on a larger V-cache the two names index different sets:
+   the data migrates and the old location is invalidated.
+3. *buffer restore* — the only copy is in the write buffer when the
+   synonym arrives: the write-back is cancelled and the dirty data
+   returns to the V-cache under its new name.
+
+Run:  python examples/synonym_walkthrough.py
+"""
+
+from repro import Bus, HierarchyConfig, MainMemory, MemoryLayout, RefKind
+from repro.hierarchy import TwoLevelHierarchy
+
+# Two virtual names for one physical region.  The bases differ in bit
+# 14, so V-caches bigger than 16K index them into different sets while
+# page-sized caches see them in the same set.
+NAME_A = 0x200000
+NAME_B = 0x284000
+
+
+def build(l1_size: str, l2_size: str) -> TwoLevelHierarchy:
+    layout = MemoryLayout()
+    layout.add_shared_segment("alias", [(1, NAME_A), (1, NAME_B)], n_pages=4)
+    config = HierarchyConfig.sized(l1_size, l2_size)
+    return TwoLevelHierarchy(config, layout, Bus(MainMemory()))
+
+
+def show(hier: TwoLevelHierarchy, label: str) -> None:
+    counters = hier.stats.counters
+    print(
+        f"  after {label}: sameset={counters['synonym_sameset']} "
+        f"moves={counters['synonym_moves']} "
+        f"writeback_cancels={counters['writeback_cancels']} "
+        f"buffer={len(hier.write_buffer)}"
+    )
+
+
+def scenario_sameset() -> None:
+    print("1) sameset: 1K V-cache, both names index the same set")
+    hier = build("1K", "8K")
+    version = hier.access(1, NAME_A, RefKind.WRITE).version
+    print(f"  wrote {version} under {NAME_A:#x}")
+    result = hier.access(1, NAME_B, RefKind.READ)
+    print(
+        f"  read under {NAME_B:#x}: outcome={result.outcome.value}, "
+        f"version={result.version} (dirty data preserved, no write-back)"
+    )
+    show(hier, "synonym read")
+    print()
+
+
+def scenario_move() -> None:
+    print("2) move: 32K V-cache, the names index different sets")
+    hier = build("32K", "64K")
+    l1 = hier.l1_caches[0]
+    print(
+        f"  set of name A: {l1.config.set_index(NAME_A)}, "
+        f"set of name B: {l1.config.set_index(NAME_B)}"
+    )
+    hier.access(1, NAME_A, RefKind.WRITE)
+    result = hier.access(1, NAME_B, RefKind.READ)
+    print(f"  read under name B: outcome={result.outcome.value}")
+    # The old location must be gone: a third access through name A is
+    # itself resolved as a synonym again (the copy now lives under B).
+    again = hier.access(1, NAME_A, RefKind.READ)
+    print(f"  re-read under name A: outcome={again.outcome.value}")
+    show(hier, "round trip")
+    print()
+
+
+def scenario_buffer_restore() -> None:
+    print("3) buffer restore: the only copy is in the write buffer")
+    hier = build("1K", "8K")
+    version = hier.access(1, NAME_A, RefKind.WRITE).version
+    # Evict the dirty block with a conflicting address (same V set).
+    conflict = NAME_A + hier.config.l1.size
+    hier.access(1, conflict, RefKind.READ)
+    print(
+        f"  evicted dirty block into the write buffer "
+        f"(entries: {len(hier.write_buffer)})"
+    )
+    result = hier.access(1, NAME_B, RefKind.READ)
+    print(
+        f"  synonym read: outcome={result.outcome.value}, "
+        f"version={result.version} == written {version}"
+    )
+    show(hier, "buffer cancel")
+    print()
+
+
+def main() -> None:
+    scenario_sameset()
+    scenario_move()
+    scenario_buffer_restore()
+    print("All synonym paths resolved with exactly one V-cache copy alive.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Metadata lives in pyproject.toml; this file exists so that
+``python setup.py develop`` works on environments whose setuptools
+lacks PEP 660 editable-install support (no ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,84 @@
+"""repro — a two-level virtual-real cache hierarchy simulator.
+
+A from-scratch reproduction of *Organization and Performance of a
+Two-Level Virtual-Real Cache Hierarchy* (Wen-Hann Wang, Jean-Loup
+Baer and Henry M. Levy, ISCA 1989): a virtually-addressed first-level
+cache backed by a physically-addressed second-level cache that solves
+the synonym problem, preserves multilevel inclusion and shields the
+first level from bus coherence traffic.
+
+Quick start::
+
+    from repro import (
+        HierarchyConfig, HierarchyKind, Multiprocessor, make_workload
+    )
+
+    workload = make_workload("pops", scale=0.02)
+    config = HierarchyConfig.sized("16K", "256K", kind=HierarchyKind.VR)
+    machine = Multiprocessor(workload.layout, n_cpus=4, config=config)
+    result = machine.run(workload)
+    print(f"h1={result.h1:.3f} h2={result.h2:.3f}")
+
+See ``repro.experiments`` to regenerate every table and figure of the
+paper's evaluation section.
+"""
+
+from .cache import CacheConfig
+from .coherence import Bus, BusOp, MainMemory, ShareState
+from .hierarchy import (
+    HierarchyConfig,
+    HierarchyKind,
+    HierarchyStats,
+    Outcome,
+    Protocol,
+    SingleLevelCache,
+    TwoLevelHierarchy,
+)
+from .mmu import MemoryLayout, TLB
+from .perf import HitRatios, TimingParams, access_time, crossover_slowdown
+from .system import DMAEngine, Multiprocessor, SimulationResult
+from .trace import (
+    RefKind,
+    ReuseDistanceProfile,
+    SyntheticWorkload,
+    TraceRecord,
+    WorkloadSpec,
+    make_workload,
+    profile_reuse_distances,
+    workload_names,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Bus",
+    "BusOp",
+    "CacheConfig",
+    "DMAEngine",
+    "HierarchyConfig",
+    "HierarchyKind",
+    "HierarchyStats",
+    "HitRatios",
+    "MainMemory",
+    "MemoryLayout",
+    "Multiprocessor",
+    "Outcome",
+    "Protocol",
+    "RefKind",
+    "ReuseDistanceProfile",
+    "ShareState",
+    "SimulationResult",
+    "SingleLevelCache",
+    "SyntheticWorkload",
+    "TLB",
+    "TimingParams",
+    "TraceRecord",
+    "TwoLevelHierarchy",
+    "WorkloadSpec",
+    "access_time",
+    "crossover_slowdown",
+    "make_workload",
+    "profile_reuse_distances",
+    "workload_names",
+    "__version__",
+]

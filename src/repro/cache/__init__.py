@@ -1,0 +1,26 @@
+"""Cache substrate: geometry, tag stores, replacement, write buffers."""
+
+from .block import CacheBlock
+from .config import CacheConfig
+from .replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    make_policy,
+)
+from .tagstore import TagStore
+from .write_buffer import WriteBuffer, WriteBufferEntry
+
+__all__ = [
+    "CacheBlock",
+    "CacheConfig",
+    "FIFOPolicy",
+    "LRUPolicy",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "TagStore",
+    "WriteBuffer",
+    "WriteBufferEntry",
+    "make_policy",
+]

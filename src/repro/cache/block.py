@@ -1,0 +1,91 @@
+"""Tag-store entries.
+
+:class:`CacheBlock` carries the union of the fields the paper's
+Figure 3 puts in a *V-cache* tag entry (tag, r-pointer, dirty, valid,
+swapped-valid) plus a data *version stamp* used by the simulator to
+verify write-back and coherence correctness without storing bytes.
+
+The R-cache's richer entries (per-sub-block inclusion/buffer/state
+bits and v-pointers) are built in ``repro.hierarchy.rcache`` on top of
+this class.
+"""
+
+from __future__ import annotations
+
+
+class CacheBlock:
+    """One way of one set in a tag store.
+
+    A block is *addressable* (its data physically present and findable
+    by the second level) when ``valid or swapped_valid``; it is
+    *hittable* by the processor only when ``valid``.  The distinction
+    implements the paper's swapped-valid bit: a context switch turns
+    valid blocks into swapped-valid ones whose dirty data survives
+    until the slot is reused.
+    """
+
+    __slots__ = (
+        "set_index",
+        "way",
+        "valid",
+        "swapped_valid",
+        "dirty",
+        "tag",
+        "r_pointer",
+        "version",
+    )
+
+    def __init__(self, set_index: int, way: int) -> None:
+        self.set_index = set_index
+        self.way = way
+        self.valid = False
+        self.swapped_valid = False
+        self.dirty = False
+        self.tag = 0
+        self.r_pointer = 0
+        self.version = 0
+
+    @property
+    def present(self) -> bool:
+        """True when the slot physically holds a block (valid or swapped)."""
+        return self.valid or self.swapped_valid
+
+    def invalidate(self) -> None:
+        """Drop the block entirely (data discarded)."""
+        self.valid = False
+        self.swapped_valid = False
+        self.dirty = False
+
+    def swap_out(self) -> None:
+        """Context switch: valid -> swapped-valid, data retained.
+
+        A block that is already swapped-valid stays swapped-valid; an
+        invalid slot is untouched.
+        """
+        if self.valid:
+            self.valid = False
+            self.swapped_valid = True
+
+    def fill(self, tag: int, r_pointer: int, version: int) -> None:
+        """Load a clean block into this slot."""
+        self.tag = tag
+        self.r_pointer = r_pointer
+        self.version = version
+        self.valid = True
+        self.swapped_valid = False
+        self.dirty = False
+
+    def __repr__(self) -> str:
+        flags = "".join(
+            ch
+            for ch, on in (
+                ("V", self.valid),
+                ("S", self.swapped_valid),
+                ("D", self.dirty),
+            )
+            if on
+        )
+        return (
+            f"CacheBlock(set={self.set_index}, way={self.way}, "
+            f"tag={self.tag:#x}, flags={flags or '-'})"
+        )

@@ -1,0 +1,108 @@
+"""Cache geometry: sizes, blocks, sets and address slicing.
+
+A :class:`CacheConfig` is shared by every cache in the simulator —
+virtual or physical, level 1 or level 2 — because geometry is
+independent of what kind of address indexes the cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.errors import ConfigurationError
+from ..common.params import format_size, log2_exact, parse_size
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one cache.
+
+    Attributes:
+        size: total data capacity in bytes.
+        block_size: bytes per block (line).
+        associativity: ways per set (1 = direct mapped).
+
+    >>> cfg = CacheConfig.create("16K", block_size=16)
+    >>> cfg.n_sets, cfg.n_blocks
+    (1024, 1024)
+    """
+
+    size: int
+    block_size: int
+    associativity: int = 1
+
+    @classmethod
+    def create(
+        cls,
+        size: int | str,
+        block_size: int | str = 16,
+        associativity: int = 1,
+    ) -> "CacheConfig":
+        """Build a config accepting "16K"-style size spellings."""
+        return cls(parse_size(size), parse_size(block_size), associativity)
+
+    def __post_init__(self) -> None:
+        log2_exact(self.size, "cache size")
+        log2_exact(self.block_size, "block size")
+        if self.associativity < 1:
+            raise ConfigurationError(
+                f"associativity must be >= 1, got {self.associativity}"
+            )
+        if self.block_size > self.size:
+            raise ConfigurationError(
+                f"block size {self.block_size} exceeds cache size {self.size}"
+            )
+        if self.n_blocks % self.associativity:
+            raise ConfigurationError(
+                f"associativity {self.associativity} does not divide "
+                f"{self.n_blocks} blocks"
+            )
+
+    # -- derived geometry ----------------------------------------------
+
+    @property
+    def n_blocks(self) -> int:
+        """Total number of blocks."""
+        return self.size // self.block_size
+
+    @property
+    def n_sets(self) -> int:
+        """Number of sets."""
+        return self.n_blocks // self.associativity
+
+    @property
+    def block_bits(self) -> int:
+        """log2(block size) — the offset field width."""
+        return self.block_size.bit_length() - 1
+
+    @property
+    def set_bits(self) -> int:
+        """log2(number of sets) — the index field width."""
+        return self.n_sets.bit_length() - 1
+
+    # -- address slicing -------------------------------------------------
+
+    def block_number(self, addr: int) -> int:
+        """The block-aligned address identifier (address >> block bits)."""
+        return addr >> self.block_bits
+
+    def block_base(self, addr: int) -> int:
+        """First byte address of the block containing *addr*."""
+        return addr & ~(self.block_size - 1)
+
+    def set_index(self, addr: int) -> int:
+        """Set selected by *addr*."""
+        return self.block_number(addr) & (self.n_sets - 1)
+
+    def tag(self, addr: int) -> int:
+        """Tag field of *addr* (block number with the index stripped)."""
+        return self.block_number(addr) >> self.set_bits
+
+    def address_of(self, tag: int, set_index: int) -> int:
+        """Reconstruct the block base address from (tag, set)."""
+        return ((tag << self.set_bits) | set_index) << self.block_bits
+
+    def describe(self) -> str:
+        """Short human-readable geometry string like '16K/16B 2-way'."""
+        way = "direct-mapped" if self.associativity == 1 else f"{self.associativity}-way"
+        return f"{format_size(self.size)}/{self.block_size}B {way}"

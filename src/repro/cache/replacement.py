@@ -1,0 +1,128 @@
+"""Replacement policies for set-associative tag stores.
+
+A policy keeps per-set recency/arrival state and answers two
+questions: which way to victimise, and how to update state on an
+access or install.  Policies are deliberately decoupled from the tag
+store so the R-cache's inclusion-aware victim selection (prefer ways
+with all inclusion bits clear) can be layered on top via the
+*candidates* argument of :meth:`ReplacementPolicy.choose`.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+
+from ..common.errors import ConfigurationError
+
+
+class ReplacementPolicy(ABC):
+    """Replacement state for every set of one cache."""
+
+    def __init__(self, n_sets: int, associativity: int) -> None:
+        self.n_sets = n_sets
+        self.associativity = associativity
+
+    @abstractmethod
+    def on_access(self, set_index: int, way: int) -> None:
+        """Record a hit on (set, way)."""
+
+    @abstractmethod
+    def on_install(self, set_index: int, way: int) -> None:
+        """Record a fill into (set, way)."""
+
+    @abstractmethod
+    def choose(self, set_index: int, candidates: Sequence[int]) -> int:
+        """Pick a victim way among *candidates* (never empty)."""
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Least-recently-used: the paper's default at both levels."""
+
+    def __init__(self, n_sets: int, associativity: int) -> None:
+        super().__init__(n_sets, associativity)
+        # Per set, ways ordered LRU-first.
+        self._order = [list(range(associativity)) for _ in range(n_sets)]
+
+    def _touch(self, set_index: int, way: int) -> None:
+        order = self._order[set_index]
+        order.remove(way)
+        order.append(way)
+
+    def on_access(self, set_index: int, way: int) -> None:
+        self._touch(set_index, way)
+
+    def on_install(self, set_index: int, way: int) -> None:
+        self._touch(set_index, way)
+
+    def choose(self, set_index: int, candidates: Sequence[int]) -> int:
+        allowed = frozenset(candidates)
+        for way in self._order[set_index]:
+            if way in allowed:
+                return way
+        raise ConfigurationError("victim requested with no candidate ways")
+
+    def recency_order(self, set_index: int) -> list[int]:
+        """Ways LRU-first, exposed for tests."""
+        return list(self._order[set_index])
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """First-in-first-out: order set at install time only."""
+
+    def __init__(self, n_sets: int, associativity: int) -> None:
+        super().__init__(n_sets, associativity)
+        self._order = [list(range(associativity)) for _ in range(n_sets)]
+
+    def on_access(self, set_index: int, way: int) -> None:
+        pass
+
+    def on_install(self, set_index: int, way: int) -> None:
+        order = self._order[set_index]
+        order.remove(way)
+        order.append(way)
+
+    def choose(self, set_index: int, candidates: Sequence[int]) -> int:
+        allowed = frozenset(candidates)
+        for way in self._order[set_index]:
+            if way in allowed:
+                return way
+        raise ConfigurationError("victim requested with no candidate ways")
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Seeded random choice, as the paper's R-cache fallback rule uses."""
+
+    def __init__(self, n_sets: int, associativity: int, seed: int = 0) -> None:
+        super().__init__(n_sets, associativity)
+        self._rng = random.Random(seed)
+
+    def on_access(self, set_index: int, way: int) -> None:
+        pass
+
+    def on_install(self, set_index: int, way: int) -> None:
+        pass
+
+    def choose(self, set_index: int, candidates: Sequence[int]) -> int:
+        if not candidates:
+            raise ConfigurationError("victim requested with no candidate ways")
+        return self._rng.choice(list(candidates))
+
+
+_POLICIES = {"lru": LRUPolicy, "fifo": FIFOPolicy, "random": RandomPolicy}
+
+
+def make_policy(
+    name: str, n_sets: int, associativity: int, seed: int = 0
+) -> ReplacementPolicy:
+    """Instantiate a policy by name ("lru", "fifo" or "random")."""
+    try:
+        cls = _POLICIES[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown replacement policy {name!r}; choose from {sorted(_POLICIES)}"
+        ) from None
+    if cls is RandomPolicy:
+        return RandomPolicy(n_sets, associativity, seed)
+    return cls(n_sets, associativity)

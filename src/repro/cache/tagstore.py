@@ -1,0 +1,152 @@
+"""The set-associative tag store both cache levels build on.
+
+A :class:`TagStore` is policy-free about *what* the blocks mean: it
+slices addresses per a :class:`CacheConfig`, finds matching blocks,
+chooses victims and maintains replacement state.  The V-cache and
+R-cache wrap it with their own semantics (swapped-valid handling,
+subentries, inclusion).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator, Sequence
+
+from ..common.errors import ConfigurationError
+from .block import CacheBlock
+from .config import CacheConfig
+from .replacement import ReplacementPolicy, make_policy
+
+BlockFactory = Callable[[int, int], CacheBlock]
+
+
+class TagStore:
+    """Tag array + replacement state for one cache.
+
+    The *block_factory* lets a subsystem substitute a richer block
+    class (the R-cache does); it must accept ``(set_index, way)``.
+
+    >>> store = TagStore(CacheConfig.create("1K", block_size=16, associativity=2))
+    >>> store.find(0x40) is None
+    True
+    """
+
+    def __init__(
+        self,
+        config: CacheConfig,
+        block_factory: BlockFactory = CacheBlock,
+        replacement: str | ReplacementPolicy = "lru",
+        seed: int = 0,
+    ) -> None:
+        self.config = config
+        if isinstance(replacement, str):
+            self.policy = make_policy(
+                replacement, config.n_sets, config.associativity, seed
+            )
+        else:
+            if (
+                replacement.n_sets != config.n_sets
+                or replacement.associativity != config.associativity
+            ):
+                raise ConfigurationError("replacement policy geometry mismatch")
+            self.policy = replacement
+        self._sets: list[list[CacheBlock]] = [
+            [block_factory(s, w) for w in range(config.associativity)]
+            for s in range(config.n_sets)
+        ]
+
+    # -- lookup ----------------------------------------------------------
+
+    def ways(self, set_index: int) -> list[CacheBlock]:
+        """The blocks of one set (all ways, present or not)."""
+        return self._sets[set_index]
+
+    def find(self, addr: int, include_swapped: bool = False) -> CacheBlock | None:
+        """Tag-match *addr*; no replacement-state side effects.
+
+        With *include_swapped* the search also matches blocks whose
+        data is physically present but invalidated by a context switch
+        (swapped-valid).
+        """
+        set_index = self.config.set_index(addr)
+        tag = self.config.tag(addr)
+        for block in self._sets[set_index]:
+            if block.tag == tag and (
+                block.valid or (include_swapped and block.swapped_valid)
+            ):
+                return block
+        return None
+
+    def access(self, addr: int) -> CacheBlock | None:
+        """Like :meth:`find`, but marks the block most recently used."""
+        block = self.find(addr)
+        if block is not None:
+            self.policy.on_access(block.set_index, block.way)
+        return block
+
+    def touch(self, block: CacheBlock) -> None:
+        """Mark *block* most recently used."""
+        self.policy.on_access(block.set_index, block.way)
+
+    # -- victim selection --------------------------------------------------
+
+    def victim(
+        self,
+        addr: int,
+        prefer: Callable[[CacheBlock], bool] | None = None,
+    ) -> CacheBlock:
+        """Choose the slot *addr* will fill.
+
+        Empty (non-present) ways win outright.  Otherwise, when
+        *prefer* is given and some present ways satisfy it, the
+        replacement policy chooses only among those — this implements
+        the R-cache's relaxed inclusion rule (prefer ways whose
+        inclusion bits are all clear).  When no way satisfies
+        *prefer*, the policy chooses among all ways.
+        """
+        set_index = self.config.set_index(addr)
+        ways = self._sets[set_index]
+        for block in ways:
+            if not block.present:
+                return block
+        candidates: Sequence[int] = range(len(ways))
+        if prefer is not None:
+            preferred = [block.way for block in ways if prefer(block)]
+            if preferred:
+                candidates = preferred
+        way = self.policy.choose(set_index, candidates)
+        return ways[way]
+
+    def note_install(self, block: CacheBlock) -> None:
+        """Record that *block* was just filled (replacement bookkeeping)."""
+        self.policy.on_install(block.set_index, block.way)
+
+    # -- iteration / maintenance --------------------------------------------
+
+    def __iter__(self) -> Iterator[CacheBlock]:
+        for ways in self._sets:
+            yield from ways
+
+    def present_blocks(self) -> Iterator[CacheBlock]:
+        """Iterate blocks whose data is physically present."""
+        return (block for block in self if block.present)
+
+    def invalidate_all(self) -> int:
+        """Drop every block; returns how many were present."""
+        dropped = 0
+        for block in self:
+            if block.present:
+                block.invalidate()
+                dropped += 1
+        return dropped
+
+    def swap_out_all(self) -> int:
+        """Context switch: demote every valid block to swapped-valid.
+
+        Returns the number of blocks demoted.
+        """
+        demoted = 0
+        for block in self:
+            if block.valid:
+                block.swap_out()
+                demoted += 1
+        return demoted

@@ -1,0 +1,106 @@
+"""FIFO write buffer between the V-cache and the R-cache.
+
+When the V-cache evicts a dirty block, the block's data parks here
+until the R-cache absorbs it; the matching R-cache subentry keeps a
+*buffer bit* set so coherence and synonym lookups know where the only
+up-to-date copy lives.  Bus-induced flushes and invalidations must
+therefore be able to search the buffer by physical block.
+
+The paper shows (Table 3) that with swapped write-backs a single-entry
+buffer suffices; capacity is configurable so that claim can be tested.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from ..common.stats import CounterBag
+
+
+@dataclass
+class WriteBufferEntry:
+    """One dirty block awaiting write-back.
+
+    Attributes:
+        pblock: physical block number of the data.
+        version: data version stamp being written back.
+        swapped: True when the eviction was of a swapped-valid block
+            (a lazy context-switch write-back).
+    """
+
+    pblock: int
+    version: int
+    swapped: bool = False
+
+
+class WriteBuffer:
+    """Bounded FIFO of :class:`WriteBufferEntry`.
+
+    >>> buf = WriteBuffer(capacity=2)
+    >>> buf.push(WriteBufferEntry(pblock=7, version=1))
+    >>> buf.full
+    False
+    """
+
+    def __init__(self, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError(f"write buffer capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.stats = CounterBag()
+        self._entries: deque[WriteBufferEntry] = deque()
+
+    @property
+    def full(self) -> bool:
+        """True when a push would stall the processor."""
+        return len(self._entries) >= self.capacity
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def push(self, entry: WriteBufferEntry) -> None:
+        """Queue *entry*.  The caller must make room first when full.
+
+        The hierarchy drains the oldest entry synchronously (a
+        processor stall, counted there) before pushing into a full
+        buffer, so overflow here is a programming error.
+        """
+        if self.full:
+            raise RuntimeError("write buffer overflow: drain before pushing")
+        self._entries.append(entry)
+        self.stats.add("pushes")
+        if entry.swapped:
+            self.stats.add("swapped_pushes")
+
+    def pop_oldest(self) -> WriteBufferEntry:
+        """Retire the oldest entry (its data reaches the R-cache)."""
+        entry = self._entries.popleft()
+        self.stats.add("retires")
+        return entry
+
+    def drain(self) -> list[WriteBufferEntry]:
+        """Retire every entry, oldest first."""
+        out = []
+        while self._entries:
+            out.append(self.pop_oldest())
+        return out
+
+    def find(self, pblock: int) -> WriteBufferEntry | None:
+        """The entry holding physical block *pblock*, if any."""
+        for entry in self._entries:
+            if entry.pblock == pblock:
+                return entry
+        return None
+
+    def remove(self, pblock: int) -> WriteBufferEntry | None:
+        """Remove and return the entry for *pblock* (flush or cancel)."""
+        for i, entry in enumerate(self._entries):
+            if entry.pblock == pblock:
+                del self._entries[i]
+                self.stats.add("removals")
+                return entry
+        return None
+
+    def entries(self) -> list[WriteBufferEntry]:
+        """Snapshot of queued entries, oldest first."""
+        return list(self._entries)

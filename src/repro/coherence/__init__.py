@@ -1,0 +1,18 @@
+"""Shared-bus snooping coherence substrate."""
+
+from .bus import Bus, MainMemory, Snooper
+from .messages import BusOp, BusResult, BusTransaction, SnoopReply
+from .protocol import AllocPolicy, ShareState, WritePolicy
+
+__all__ = [
+    "AllocPolicy",
+    "Bus",
+    "BusOp",
+    "BusResult",
+    "BusTransaction",
+    "MainMemory",
+    "ShareState",
+    "Snooper",
+    "SnoopReply",
+    "WritePolicy",
+]

@@ -1,0 +1,75 @@
+"""Bus transaction vocabulary for the snooping protocol.
+
+The paper assumes a write-invalidate protocol with three coherence
+transactions — read-miss, invalidation and read-modified-write — plus
+write-backs to memory, which carry data but trigger no snooping.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class BusOp(enum.Enum):
+    """Transaction types observable on the shared bus."""
+
+    READ_MISS = "read_miss"
+    INVALIDATE = "invalidate"
+    READ_MODIFIED_WRITE = "read_modified_write"
+    WRITE_UPDATE = "write_update"
+    WRITE_BACK = "write_back"
+
+    @property
+    def is_coherence(self) -> bool:
+        """True for transactions that other caches must snoop."""
+        return self is not BusOp.WRITE_BACK
+
+
+@dataclass(frozen=True)
+class BusTransaction:
+    """One atomic bus transaction.
+
+    Attributes:
+        op: transaction type.
+        origin: index of the issuing cache hierarchy (CPU id).
+        pblock: physical block number the transaction concerns.
+        version: data carried by the transaction — required for
+            WRITE_UPDATE (the new contents being broadcast), unused
+            otherwise.
+    """
+
+    op: BusOp
+    origin: int
+    pblock: int
+    version: int | None = None
+
+
+@dataclass
+class SnoopReply:
+    """What one snooper reports back for a coherence transaction.
+
+    Attributes:
+        has_copy: the snooper holds the block (any state) — drives the
+            requestor's shared/private decision.
+        supplied_version: set when the snooper held the block dirty
+            and supplies the data (cache-to-cache transfer).
+    """
+
+    has_copy: bool = False
+    supplied_version: int | None = None
+
+
+@dataclass
+class BusResult:
+    """Outcome of a transaction, as seen by the issuing hierarchy.
+
+    Attributes:
+        shared: at least one other cache acknowledged holding the block.
+        version: data version the requestor receives (from a dirty
+            peer cache if one supplied, otherwise from memory);
+            ``None`` for transactions that return no data.
+    """
+
+    shared: bool = False
+    version: int | None = None

@@ -1,0 +1,33 @@
+"""Coherence state kept per R-cache block.
+
+The paper's protocol stores two *state bits* for sharing status plus
+two dirty bits (vdirty — the V-cache's copy is modified — and rdirty —
+the R-cache's own copy is modified).  We model the sharing status as
+an enum; INVALID is represented by the block's valid bit being clear,
+matching the hardware encoding.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class ShareState(enum.Enum):
+    """Sharing status of a valid second-level block."""
+
+    PRIVATE = "private"
+    SHARED = "shared"
+
+
+class WritePolicy(enum.Enum):
+    """Write hit policy of a cache level."""
+
+    WRITE_BACK = "write_back"
+    WRITE_THROUGH = "write_through"
+
+
+class AllocPolicy(enum.Enum):
+    """Write miss policy of a cache level."""
+
+    WRITE_ALLOCATE = "write_allocate"
+    NO_WRITE_ALLOCATE = "no_write_allocate"

@@ -1,0 +1,28 @@
+"""Shared utilities: sizes, errors, counters."""
+
+from .errors import (
+    ConfigurationError,
+    InclusionError,
+    ProtocolError,
+    ReproError,
+    TraceFormatError,
+    TranslationError,
+)
+from .params import format_size, is_power_of_two, log2_exact, parse_size
+from .stats import CounterBag, IntervalHistogram, ratio
+
+__all__ = [
+    "ConfigurationError",
+    "CounterBag",
+    "InclusionError",
+    "IntervalHistogram",
+    "ProtocolError",
+    "ReproError",
+    "TraceFormatError",
+    "TranslationError",
+    "format_size",
+    "is_power_of_two",
+    "log2_exact",
+    "parse_size",
+    "ratio",
+]

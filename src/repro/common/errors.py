@@ -1,0 +1,54 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch library failures without
+swallowing programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A cache, trace or system configuration is inconsistent.
+
+    Examples: a cache size that is not a power of two, a block size
+    larger than the page size, an associativity that does not divide
+    the number of blocks.
+    """
+
+
+class TranslationError(ReproError):
+    """A virtual address could not be translated.
+
+    Raised when a process references a virtual page that has no
+    mapping in its page table.  In the simulated machine this would be
+    a page fault delivered to the operating system; the simulator
+    treats it as a hard error because synthetic workloads only touch
+    mapped pages.
+    """
+
+
+class ProtocolError(ReproError):
+    """The coherence protocol reached an inconsistent state.
+
+    This always indicates a bug in a hierarchy implementation (for
+    instance two caches holding the same block dirty), never a bad
+    input, so it is raised eagerly to fail the simulation loudly.
+    """
+
+
+class InclusionError(ReproError):
+    """The multilevel inclusion property was violated.
+
+    Raised by the consistency checkers when a first-level block has no
+    second-level parent, or when the pointer linkage between levels is
+    broken.
+    """
+
+
+class TraceFormatError(ReproError):
+    """A trace file could not be parsed."""

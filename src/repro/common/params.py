@@ -1,0 +1,99 @@
+"""Small numeric helpers shared across the simulator.
+
+The paper (and cache literature generally) specifies sizes as "16K",
+"256K" and so on.  :func:`parse_size` accepts those spellings as well
+as plain integers; :func:`log2_exact` and :func:`is_power_of_two`
+support the pervasive power-of-two arithmetic of cache indexing.
+"""
+
+from __future__ import annotations
+
+from .errors import ConfigurationError
+
+_SUFFIXES = {
+    "": 1,
+    "B": 1,
+    "K": 1024,
+    "KB": 1024,
+    "KI": 1024,
+    "KIB": 1024,
+    "M": 1024 * 1024,
+    "MB": 1024 * 1024,
+    "MI": 1024 * 1024,
+    "MIB": 1024 * 1024,
+    "G": 1024 * 1024 * 1024,
+    "GB": 1024 * 1024 * 1024,
+}
+
+
+def parse_size(value: int | float | str) -> int:
+    """Parse a byte size such as ``16384``, ``"16K"`` or ``".5K"``.
+
+    Fractional prefixes are allowed as long as the result is a whole
+    number of bytes (the paper uses ".5K" for a 512-byte cache).
+
+    >>> parse_size("16K")
+    16384
+    >>> parse_size(".5K")
+    512
+    >>> parse_size(64)
+    64
+    """
+    if isinstance(value, bool):
+        raise ConfigurationError(f"not a size: {value!r}")
+    if isinstance(value, int):
+        if value <= 0:
+            raise ConfigurationError(f"size must be positive, got {value}")
+        return value
+    if isinstance(value, float):
+        if value <= 0 or value != int(value):
+            raise ConfigurationError(f"size must be a positive integer, got {value}")
+        return int(value)
+    text = value.strip().upper()
+    number_part = text.rstrip("BKMGI")
+    suffix = text[len(number_part):]
+    if suffix not in _SUFFIXES:
+        raise ConfigurationError(f"unknown size suffix in {value!r}")
+    try:
+        magnitude = float(number_part) if number_part else 0.0
+    except ValueError as exc:
+        raise ConfigurationError(f"cannot parse size {value!r}") from exc
+    size = magnitude * _SUFFIXES[suffix]
+    if size <= 0 or size != int(size):
+        raise ConfigurationError(f"size {value!r} is not a positive whole byte count")
+    return int(size)
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True when *value* is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_exact(value: int, what: str = "value") -> int:
+    """Return log2(value), requiring *value* to be a power of two.
+
+    *what* names the quantity in the error message so configuration
+    failures point at the offending parameter.
+    """
+    if not is_power_of_two(value):
+        raise ConfigurationError(f"{what} must be a power of two, got {value}")
+    return value.bit_length() - 1
+
+
+def format_size(n_bytes: int) -> str:
+    """Render a byte count the way the paper writes it ("16K", ".5K").
+
+    >>> format_size(16384)
+    '16K'
+    >>> format_size(512)
+    '.5K'
+    """
+    if n_bytes % 1024 == 0:
+        kib = n_bytes // 1024
+        if kib % 1024 == 0:
+            return f"{kib // 1024}M"
+        return f"{kib}K"
+    if (n_bytes * 10) % 1024 == 0:
+        text = f"{n_bytes / 1024:g}K"
+        return text[1:] if text.startswith("0.") else text
+    return f"{n_bytes}B"

@@ -1,0 +1,131 @@
+"""Counter and histogram primitives used by every statistics object.
+
+The simulator never prints from inside the machinery; components
+accumulate counts here and the experiment runners render them.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Iterator
+
+
+class CounterBag:
+    """A named bag of integer counters with dict-like access.
+
+    Unlike a plain :class:`collections.Counter`, reading a counter
+    never creates it and the bag can be frozen to a plain dict for
+    reporting.
+
+    >>> bag = CounterBag()
+    >>> bag.add("hits")
+    >>> bag.add("hits", 2)
+    >>> bag["hits"]
+    3
+    >>> bag["misses"]
+    0
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self) -> None:
+        self._counts: Counter[str] = Counter()
+
+    def add(self, name: str, amount: int = 1) -> None:
+        """Increment counter *name* by *amount* (which may be negative)."""
+        self._counts[name] += amount
+
+    def __getitem__(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counts
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._counts)
+
+    def names(self) -> list[str]:
+        """Return the counter names in sorted order."""
+        return sorted(self._counts)
+
+    def total(self, names: Iterable[str]) -> int:
+        """Sum the counters listed in *names*."""
+        return sum(self._counts.get(name, 0) for name in names)
+
+    def as_dict(self) -> dict[str, int]:
+        """Return a plain-dict snapshot of all counters."""
+        return dict(self._counts)
+
+    def merge(self, other: "CounterBag") -> None:
+        """Add every counter of *other* into this bag."""
+        self._counts.update(other._counts)
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self._counts.clear()
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self._counts.items()))
+        return f"CounterBag({inner})"
+
+
+class IntervalHistogram:
+    """Histogram of integer intervals with a catch-all top bucket.
+
+    Tables 2 and 3 of the paper report inter-write intervals bucketed
+    as 1..9 plus "10 and larger"; this class generalises that shape.
+
+    >>> hist = IntervalHistogram(top=10)
+    >>> for gap in (1, 1, 4, 25):
+    ...     hist.record(gap)
+    >>> hist.count(1), hist.count_top()
+    (2, 1)
+    """
+
+    __slots__ = ("top", "_buckets", "_top_count", "_observations")
+
+    def __init__(self, top: int = 10) -> None:
+        if top < 2:
+            raise ValueError("top bucket threshold must be at least 2")
+        self.top = top
+        self._buckets: Counter[int] = Counter()
+        self._top_count = 0
+        self._observations = 0
+
+    def record(self, interval: int) -> None:
+        """Record one observed interval (must be >= 1)."""
+        if interval < 1:
+            raise ValueError(f"interval must be >= 1, got {interval}")
+        self._observations += 1
+        if interval >= self.top:
+            self._top_count += 1
+        else:
+            self._buckets[interval] += 1
+
+    def count(self, interval: int) -> int:
+        """Count of observations exactly equal to *interval* (< top)."""
+        if interval >= self.top:
+            raise ValueError(f"interval {interval} is in the catch-all bucket")
+        return self._buckets.get(interval, 0)
+
+    def count_top(self) -> int:
+        """Count of observations >= the top threshold."""
+        return self._top_count
+
+    @property
+    def observations(self) -> int:
+        """Total number of recorded intervals."""
+        return self._observations
+
+    def rows(self) -> list[tuple[str, int]]:
+        """Rows in the paper's table shape: ('1', n) .. ('10 and larger', n)."""
+        out: list[tuple[str, int]] = []
+        for i in range(1, self.top):
+            out.append((str(i), self._buckets.get(i, 0)))
+        out.append((f"{self.top} and larger", self._top_count))
+        return out
+
+
+def ratio(numerator: int, denominator: int) -> float:
+    """numerator/denominator, defined as 0.0 when the denominator is 0."""
+    return numerator / denominator if denominator else 0.0

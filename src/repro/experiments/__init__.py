@@ -1,0 +1,79 @@
+"""Experiment runners: one per paper table/figure.
+
+Use :func:`get_runner` (or the ``repro-experiment`` CLI) to regenerate
+any artefact of the paper's evaluation section::
+
+    from repro.experiments import get_runner
+    result = get_runner("table6")(scale=0.05)
+    print(result.render())
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from ..common.errors import ConfigurationError
+from . import (
+    ablation,
+    figures,
+    table1,
+    table2,
+    table3,
+    table5,
+    table6,
+    table8_10,
+    table11_13,
+)
+from .base import (
+    SIZE_PAIRS,
+    SMALL_SIZE_PAIRS,
+    ExperimentResult,
+    clear_caches,
+    default_scale,
+    simulate,
+    trace_records,
+)
+
+#: Registry of experiment ids to runner callables.
+RUNNERS: dict[str, Callable[..., ExperimentResult]] = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "table3": table3.run,
+    "table5": table5.run,
+    "table6": table6.run,
+    "table7": table6.run_small,
+    "table8_10": table8_10.run,
+    "table11_13": table11_13.run,
+    "figures": figures.run,
+    "ablation": ablation.run,
+}
+
+
+def experiment_ids() -> list[str]:
+    """All experiment ids, in paper order."""
+    return list(RUNNERS)
+
+
+def get_runner(experiment_id: str) -> Callable[..., ExperimentResult]:
+    """The runner for *experiment_id*, or raise ConfigurationError."""
+    try:
+        return RUNNERS[experiment_id]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment {experiment_id!r}; "
+            f"choose from {experiment_ids()}"
+        ) from None
+
+
+__all__ = [
+    "ExperimentResult",
+    "RUNNERS",
+    "SIZE_PAIRS",
+    "SMALL_SIZE_PAIRS",
+    "clear_caches",
+    "default_scale",
+    "experiment_ids",
+    "get_runner",
+    "simulate",
+    "trace_records",
+]

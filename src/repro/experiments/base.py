@@ -1,0 +1,118 @@
+"""Shared infrastructure for the per-table experiment runners.
+
+Several paper tables draw on the same simulations (Table 6, Figures
+4–6 and Tables 11–13 all use the VR/RR runs over three size pairs),
+so results are memoised per process, keyed by every parameter that
+affects them.  Generated traces are memoised too (below a size cap)
+because one trace feeds many configurations.
+
+The default trace scale is intentionally far below the paper's 3.3M
+references so that the whole suite runs in minutes of pure Python;
+set the ``REPRO_SCALE`` environment variable (or pass ``scale=``) to
+raise it — 1.0 reproduces the full trace lengths.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from ..hierarchy.config import HierarchyConfig, HierarchyKind
+from ..mmu.address_space import MemoryLayout
+from ..system.multiprocessor import Multiprocessor, SimulationResult
+from ..trace.record import TraceRecord
+from ..trace.workloads import get_spec, make_workload
+
+#: The paper's three main size pairs (L1/L2), Table 6.
+SIZE_PAIRS: list[tuple[str, str]] = [("4K", "64K"), ("8K", "128K"), ("16K", "256K")]
+#: The small-first-level pairs of Table 7.
+SMALL_SIZE_PAIRS: list[tuple[str, str]] = [
+    (".5K", "64K"),
+    ("1K", "128K"),
+    ("2K", "256K"),
+]
+
+#: Traces above this many references are regenerated instead of cached.
+_TRACE_CACHE_LIMIT = 600_000
+
+
+def default_scale() -> float:
+    """The trace scale experiments run at unless overridden."""
+    return float(os.environ.get("REPRO_SCALE", "0.1"))
+
+
+@dataclass
+class ExperimentResult:
+    """What one experiment runner returns.
+
+    Attributes:
+        experiment_id: paper artefact id, e.g. ``"table6"``.
+        title: the paper's caption.
+        text: rendered tables/series, ready to print.
+        data: raw numbers keyed by meaningful names, consumed by the
+            test suite and by EXPERIMENTS.md generation.
+        scale: trace scale the experiment ran at.
+    """
+
+    experiment_id: str
+    title: str
+    text: str
+    data: dict = field(default_factory=dict)
+    scale: float = 1.0
+
+    def render(self) -> str:
+        """The printable report."""
+        header = f"== {self.experiment_id}: {self.title} (scale={self.scale:g}) =="
+        return f"{header}\n{self.text}"
+
+
+_trace_cache: dict[tuple[str, float], tuple[list[TraceRecord], MemoryLayout]] = {}
+_sim_cache: dict[tuple, SimulationResult] = {}
+
+
+def clear_caches() -> None:
+    """Drop memoised traces and simulations (tests use this)."""
+    _trace_cache.clear()
+    _sim_cache.clear()
+
+
+def trace_records(
+    name: str, scale: float
+) -> tuple[list[TraceRecord], MemoryLayout]:
+    """The surrogate trace *name* at *scale*, with its address layout."""
+    key = (name, scale)
+    cached = _trace_cache.get(key)
+    if cached is not None:
+        return cached
+    workload = make_workload(name, scale)
+    records = workload.records()
+    result = (records, workload.layout)
+    if get_spec(name, scale).total_refs <= _TRACE_CACHE_LIMIT:
+        _trace_cache[key] = result
+    return result
+
+
+def simulate(
+    trace_name: str,
+    scale: float,
+    l1_size: str,
+    l2_size: str,
+    kind: HierarchyKind,
+    split_l1: bool = False,
+    block_size: str | int = 16,
+    seed: int = 0,
+) -> SimulationResult:
+    """Run (or reuse) one full-machine simulation."""
+    key = (trace_name, scale, l1_size, l2_size, kind, split_l1, block_size, seed)
+    cached = _sim_cache.get(key)
+    if cached is not None:
+        return cached
+    records, layout = trace_records(trace_name, scale)
+    spec = get_spec(trace_name, scale)
+    config = HierarchyConfig.sized(
+        l1_size, l2_size, block_size=block_size, kind=kind, split_l1=split_l1
+    )
+    machine = Multiprocessor(layout, spec.n_cpus, config, seed=seed)
+    result = machine.run(records)
+    _sim_cache[key] = result
+    return result

@@ -1,0 +1,65 @@
+"""Command-line entry point: regenerate paper tables and figures.
+
+Examples::
+
+    repro-experiment table6
+    repro-experiment figures --scale 0.1
+    repro-experiment all --scale 0.02
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import default_scale, experiment_ids, get_runner
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment",
+        description=(
+            "Regenerate tables and figures of 'Organization and "
+            "Performance of a Two-Level Virtual-Real Cache Hierarchy' "
+            "(Wang, Baer & Levy, ISCA 1989) from surrogate traces."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=experiment_ids() + ["all"],
+        help="which artefact to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help=(
+            "trace scale relative to the paper's trace lengths "
+            f"(default {default_scale()} or $REPRO_SCALE; 1.0 = full)"
+        ),
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the CLI; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    ids = experiment_ids() if args.experiment == "all" else [args.experiment]
+    try:
+        for experiment_id in ids:
+            started = time.time()
+            result = get_runner(experiment_id)(scale=args.scale)
+            elapsed = time.time() - started
+            print(result.render())
+            print(f"[{experiment_id} completed in {elapsed:.1f}s]")
+            print()
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        return 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

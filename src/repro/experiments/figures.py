@@ -1,0 +1,113 @@
+"""Figures 4-6: average access time vs level-1 translation slow-down.
+
+The paper plots, per trace and per size pair, the average access time
+of the V-R hierarchy (flat — no translation before level 1) and of
+the R-R hierarchy as its level-1 access is slowed by 0-10 % of
+address-translation overhead, with t2 = 4*t1.  The crossover abscissa
+is where V-R starts winning; for the frequent-switch trace the paper
+finds it near 6 %.
+"""
+
+from __future__ import annotations
+
+from ..perf.model import (
+    HitRatios,
+    TimingParams,
+    crossover_slowdown,
+    slowdown_sweep,
+)
+from ..perf.plot import ascii_chart
+from ..perf.tables import render
+from ..trace.workloads import workload_names
+from .base import SIZE_PAIRS, ExperimentResult, default_scale
+from .table6 import hit_ratio_grid
+
+#: Figure numbers in the paper, per trace.
+FIGURE_NUMBERS = {"thor": 4, "pops": 5, "abaqus": 6}
+
+
+def figure_series(
+    trace: str,
+    scale: float,
+    timing: TimingParams = TimingParams(),
+    max_slowdown: float = 0.10,
+    steps: int = 11,
+) -> dict[str, dict]:
+    """The sweep data of one figure: per size pair, both curves and
+    the crossover slow-down."""
+    grid = hit_ratio_grid(scale, SIZE_PAIRS)[trace]
+    out: dict[str, dict] = {}
+    for l1, l2 in SIZE_PAIRS:
+        cell = grid[f"{l1}/{l2}"]
+        vr = HitRatios(cell["h1_vr"], cell["h2_vr"])
+        rr = HitRatios(cell["h1_rr"], cell["h2_rr"])
+        series = slowdown_sweep(vr, rr, timing, max_slowdown, steps)
+        out[f"{l1}/{l2}"] = {
+            "slowdowns": series.slowdowns,
+            "vr_times": series.vr_times,
+            "rr_times": series.rr_times,
+            "crossover": crossover_slowdown(vr, rr, timing),
+        }
+    return out
+
+
+def _render_figure(trace: str, series: dict[str, dict]) -> str:
+    headers = ["slow-down %"]
+    for pair in series:
+        headers.append(f"VR {pair}")
+        headers.append(f"RR {pair}")
+    pairs = list(series)
+    n_points = len(series[pairs[0]]["slowdowns"])
+    rows = []
+    for i in range(n_points):
+        row: list[object] = [
+            f"{series[pairs[0]]['slowdowns'][i] * 100:.0f}"
+        ]
+        for pair in pairs:
+            row.append(series[pair]["vr_times"][i])
+            row.append(series[pair]["rr_times"][i])
+        rows.append(row)
+    table = render(headers, rows)
+    crossings = ", ".join(
+        f"{pair}: {series[pair]['crossover'] * 100:+.1f}%" for pair in pairs
+    )
+    # Chart the middle size pair, the paper's canonical curve shape.
+    mid = pairs[len(pairs) // 2]
+    chart = ascii_chart(
+        [s * 100 for s in series[mid]["slowdowns"]],
+        {
+            f"Virtual-real ({mid})": series[mid]["vr_times"],
+            f"Real-real ({mid})": series[mid]["rr_times"],
+        },
+        x_label="first-level R-cache slow-down (%)",
+        y_label="average access time (t1 units)",
+    )
+    return (
+        f"{table}\n{chart}\n"
+        f"crossover slow-down (VR wins beyond): {crossings}"
+    )
+
+
+def run(
+    scale: float | None = None, timing: TimingParams = TimingParams()
+) -> ExperimentResult:
+    """All three figures (thor=4, pops=5, abaqus=6)."""
+    scale = default_scale() if scale is None else scale
+    data = {}
+    sections = []
+    for trace in workload_names():
+        series = figure_series(trace, scale, timing)
+        data[trace] = series
+        number = FIGURE_NUMBERS[trace]
+        sections.append(
+            f"Figure {number}: average access time vs slow-down of "
+            f"R-cache ({trace}, t2 = {timing.t2:g}*t1)\n"
+            f"{_render_figure(trace, series)}"
+        )
+    return ExperimentResult(
+        experiment_id="figures",
+        title="Average access time vs level-1 slow-down (Figures 4-6)",
+        text="\n\n".join(sections),
+        data=data,
+        scale=scale,
+    )

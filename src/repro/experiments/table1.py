@@ -1,0 +1,41 @@
+"""Table 1: number of writes due to procedure calls (pops trace)."""
+
+from __future__ import annotations
+
+from ..perf.tables import render
+from ..trace.analyze import profile_call_writes
+from .base import ExperimentResult, default_scale, trace_records
+
+
+def run(scale: float | None = None) -> ExperimentResult:
+    """Profile call-induced write bursts in the pops surrogate."""
+    scale = default_scale() if scale is None else scale
+    records, _ = trace_records("pops", scale)
+    profile = profile_call_writes(records)
+
+    rows = [list(row) for row in profile.rows(max_burst=16)]
+    table = render(
+        ["no. of wr. per call", "count", "total writes"],
+        rows,
+        title="Table 1: writes due to procedure calls (pops)",
+    )
+    call_fraction = (
+        profile.call_writes / profile.total_writes if profile.total_writes else 0.0
+    )
+    footer = (
+        f"writes due to procedure calls: {profile.call_writes}\n"
+        f"total writes:                  {profile.total_writes}\n"
+        f"fraction due to calls:         {call_fraction:.2f} (paper: ~0.30)"
+    )
+    return ExperimentResult(
+        experiment_id="table1",
+        title="Number of writes due to procedure calls",
+        text=f"{table}\n{footer}",
+        data={
+            "per_call": dict(profile.per_call),
+            "call_writes": profile.call_writes,
+            "total_writes": profile.total_writes,
+            "call_fraction": call_fraction,
+        },
+        scale=scale,
+    )

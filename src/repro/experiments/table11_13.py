@@ -1,0 +1,75 @@
+"""Tables 11-13: coherence messages percolating to the level-1 cache.
+
+For each trace, size pair and CPU, the number of coherence messages
+the level-2 cache sent down to level 1 is reported for the three
+organisations: V-R, R-R with inclusion, and R-R without inclusion
+(which must forward every bus coherence transaction).
+"""
+
+from __future__ import annotations
+
+from ..hierarchy.config import HierarchyKind
+from ..perf.tables import render
+from ..trace.workloads import get_spec, workload_names
+from .base import SIZE_PAIRS, ExperimentResult, default_scale, simulate
+
+_KINDS = (
+    (HierarchyKind.VR, "VR"),
+    (HierarchyKind.RR_INCLUSION, "RR(incl)"),
+    (HierarchyKind.RR_NO_INCLUSION, "RR(no incl)"),
+)
+
+
+def coherence_messages(trace: str, scale: float) -> dict[str, dict[str, list[int]]]:
+    """Per-CPU coherence-message counts to level 1.
+
+    Returns ``result["4K/64K"]["VR"] = [cpu0, cpu1, ...]``.
+    """
+    out: dict[str, dict[str, list[int]]] = {}
+    for l1, l2 in SIZE_PAIRS:
+        cell: dict[str, list[int]] = {}
+        for kind, label in _KINDS:
+            result = simulate(trace, scale, l1, l2, kind)
+            cell[label] = [stats.coherence_to_l1() for stats in result.per_cpu]
+        out[f"{l1}/{l2}"] = cell
+    return out
+
+
+def _render_trace(trace: str, cells: dict[str, dict[str, list[int]]]) -> str:
+    n_cpus = len(next(iter(cells.values()))["VR"])
+    headers = ["cpu"] + [
+        f"{pair} {label}" for pair in cells for _, label in _KINDS
+    ]
+    rows = []
+    for cpu in range(n_cpus):
+        row: list[object] = [cpu]
+        for pair in cells:
+            for _, label in _KINDS:
+                row.append(cells[pair][label][cpu])
+        rows.append(row)
+    return render(headers, rows)
+
+
+def run(scale: float | None = None) -> ExperimentResult:
+    """Tables 11 (pops), 12 (thor) and 13 (abaqus)."""
+    scale = default_scale() if scale is None else scale
+    data = {}
+    sections = []
+    # The paper numbers these pops=11, thor=12, abaqus=13.
+    order = [("pops", 11), ("thor", 12), ("abaqus", 13)]
+    assert {name for name, _ in order} == set(workload_names())
+    for trace, number in order:
+        cells = coherence_messages(trace, scale)
+        data[trace] = cells
+        n_cpus = get_spec(trace, scale).n_cpus
+        sections.append(
+            f"Table {number}: coherence messages to the first-level cache "
+            f"({trace}, {n_cpus} cpus)\n{_render_trace(trace, cells)}"
+        )
+    return ExperimentResult(
+        experiment_id="table11_13",
+        title="Coherence messages to the first-level cache",
+        text="\n\n".join(sections),
+        data=data,
+        scale=scale,
+    )

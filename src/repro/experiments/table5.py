@@ -1,0 +1,57 @@
+"""Table 5: characteristics of the (surrogate) traces."""
+
+from __future__ import annotations
+
+from ..perf.tables import render
+from ..trace.analyze import summarize
+from ..trace.workloads import workload_names
+from .base import ExperimentResult, default_scale, trace_records
+
+
+def run(scale: float | None = None) -> ExperimentResult:
+    """Characterise all three surrogate traces (paper Table 5 columns)."""
+    scale = default_scale() if scale is None else scale
+    rows = []
+    data = {}
+    for name in workload_names():
+        records, _ = trace_records(name, scale)
+        summary = summarize(records, name)
+        rows.append(
+            [
+                name,
+                summary.n_cpus,
+                f"{summary.total_refs // 1000}k",
+                f"{summary.instr_count // 1000}k",
+                f"{summary.data_read // 1000}k",
+                f"{summary.data_write // 1000}k",
+                summary.context_switches,
+            ]
+        )
+        data[name] = {
+            "n_cpus": summary.n_cpus,
+            "total_refs": summary.total_refs,
+            "instr_count": summary.instr_count,
+            "data_read": summary.data_read,
+            "data_write": summary.data_write,
+            "context_switches": summary.context_switches,
+        }
+    table = render(
+        [
+            "trace",
+            "num. of cpus",
+            "total refs",
+            "instr count",
+            "data read",
+            "data write",
+            "context switch count",
+        ],
+        rows,
+        title="Table 5: characteristics of traces",
+    )
+    return ExperimentResult(
+        experiment_id="table5",
+        title="Characteristics of traces",
+        text=table,
+        data=data,
+        scale=scale,
+    )

@@ -1,0 +1,96 @@
+"""Tables 6 and 7: hit ratios of V-R vs R-R two-level hierarchies.
+
+For every trace and size pair, both organisations are simulated with
+direct-mapped caches at both levels (the paper's setup) and the four
+ratios h1VR, h1RR, h2VR, h2RR are reported.  Table 7 repeats the
+comparison with small first-level caches.
+"""
+
+from __future__ import annotations
+
+from ..hierarchy.config import HierarchyKind
+from ..perf.tables import render, render_ratio
+from ..trace.workloads import workload_names
+from .base import (
+    SIZE_PAIRS,
+    SMALL_SIZE_PAIRS,
+    ExperimentResult,
+    default_scale,
+    simulate,
+)
+
+
+def hit_ratio_grid(
+    scale: float, size_pairs: list[tuple[str, str]]
+) -> dict[str, dict[str, dict[str, float]]]:
+    """h1/h2 for VR and RR(incl) per trace and size pair.
+
+    Returns ``grid[trace]["4K/64K"] = {"h1_vr": ..., "h1_rr": ...,
+    "h2_vr": ..., "h2_rr": ...}``.
+    """
+    grid: dict[str, dict[str, dict[str, float]]] = {}
+    for trace in workload_names():
+        grid[trace] = {}
+        for l1, l2 in size_pairs:
+            vr = simulate(trace, scale, l1, l2, HierarchyKind.VR)
+            rr = simulate(trace, scale, l1, l2, HierarchyKind.RR_INCLUSION)
+            grid[trace][f"{l1}/{l2}"] = {
+                "h1_vr": vr.h1,
+                "h1_rr": rr.h1,
+                "h2_vr": vr.h2,
+                "h2_rr": rr.h2,
+            }
+    return grid
+
+
+def _render_grid(
+    grid: dict[str, dict[str, dict[str, float]]],
+    size_pairs: list[tuple[str, str]],
+    title: str,
+) -> str:
+    # The paper lays traces side by side; rows are the four ratios.
+    headers = ["ratio"]
+    for trace in grid:
+        for l1, l2 in size_pairs:
+            headers.append(f"{trace} {l1}")
+    rows = []
+    for key, label in (
+        ("h1_vr", "h1VR"),
+        ("h1_rr", "h1RR"),
+        ("h2_vr", "h2VR"),
+        ("h2_rr", "h2RR"),
+    ):
+        row: list[object] = [label]
+        for trace in grid:
+            for l1, l2 in size_pairs:
+                row.append(render_ratio(grid[trace][f"{l1}/{l2}"][key]))
+        rows.append(row)
+    return render(headers, rows, title=title)
+
+
+def run(scale: float | None = None) -> ExperimentResult:
+    """Table 6: the three main size pairs."""
+    scale = default_scale() if scale is None else scale
+    grid = hit_ratio_grid(scale, SIZE_PAIRS)
+    return ExperimentResult(
+        experiment_id="table6",
+        title="Hit ratios (V-R vs R-R)",
+        text=_render_grid(grid, SIZE_PAIRS, "Table 6: hit ratios"),
+        data=grid,
+        scale=scale,
+    )
+
+
+def run_small(scale: float | None = None) -> ExperimentResult:
+    """Table 7: small first-level caches (.5K to 2K)."""
+    scale = default_scale() if scale is None else scale
+    grid = hit_ratio_grid(scale, SMALL_SIZE_PAIRS)
+    return ExperimentResult(
+        experiment_id="table7",
+        title="Hit ratios for small first-level caches",
+        text=_render_grid(
+            grid, SMALL_SIZE_PAIRS, "Table 7: hit ratios for small L1"
+        ),
+        data=grid,
+        scale=scale,
+    )

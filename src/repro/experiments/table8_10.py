@@ -1,0 +1,81 @@
+"""Tables 8-10: split I/D vs unified first-level caches.
+
+For each trace and size pair, the V-R hierarchy runs once with a
+unified level 1 and once split into equal-size I and D halves; hit
+ratios are reported per reference class and overall, matching the
+rows of the paper's Tables 8 (thor), 9 (pops) and 10 (abaqus).
+"""
+
+from __future__ import annotations
+
+from ..hierarchy.config import HierarchyKind
+from ..perf.tables import render, render_ratio
+from ..trace.record import RefKind
+from ..trace.workloads import workload_names
+from .base import SIZE_PAIRS, ExperimentResult, default_scale, simulate
+
+
+def split_vs_unified(trace: str, scale: float) -> dict[str, dict[str, float]]:
+    """Per-class level-1 hit ratios for split and unified L1.
+
+    Returns ``result["4K/64K"] = {"read_split": ..., "read_unified":
+    ..., "write_split": ..., ..., "overall_unified": ...}``.
+    """
+    out: dict[str, dict[str, float]] = {}
+    for l1, l2 in SIZE_PAIRS:
+        cell: dict[str, float] = {}
+        for split in (True, False):
+            result = simulate(
+                trace, scale, l1, l2, HierarchyKind.VR, split_l1=split
+            )
+            stats = result.aggregate()
+            suffix = "split" if split else "unified"
+            cell[f"read_{suffix}"] = stats.l1_hit_ratio(RefKind.READ)
+            cell[f"write_{suffix}"] = stats.l1_hit_ratio(RefKind.WRITE)
+            cell[f"instr_{suffix}"] = stats.l1_hit_ratio(RefKind.INSTR)
+            cell[f"overall_{suffix}"] = stats.l1_hit_ratio()
+        out[f"{l1}/{l2}"] = cell
+    return out
+
+
+_ROWS = (
+    ("read", "data read"),
+    ("write", "data write"),
+    ("instr", "instruction"),
+    ("overall", "overall"),
+)
+
+
+def _render_trace(trace: str, cells: dict[str, dict[str, float]]) -> str:
+    headers = [trace] + [pair for pair in cells]
+    rows = []
+    for key, label in _ROWS:
+        for suffix in ("split", "unified"):
+            row: list[object] = [f"{label} {suffix}"]
+            for pair in cells:
+                row.append(render_ratio(cells[pair][f"{key}_{suffix}"]))
+            rows.append(row)
+    return render(headers, rows)
+
+
+def run(scale: float | None = None) -> ExperimentResult:
+    """Tables 8-10 for all three traces."""
+    scale = default_scale() if scale is None else scale
+    data = {}
+    sections = []
+    table_number = 8
+    for trace in workload_names():
+        cells = split_vs_unified(trace, scale)
+        data[trace] = cells
+        sections.append(
+            f"Table {table_number}: hit ratios of level 1 caches "
+            f"for the {trace} trace\n{_render_trace(trace, cells)}"
+        )
+        table_number += 1
+    return ExperimentResult(
+        experiment_id="table8_10",
+        title="Split I/D vs unified level-1 hit ratios",
+        text="\n\n".join(sections),
+        data=data,
+        scale=scale,
+    )

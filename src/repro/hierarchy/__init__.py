@@ -1,0 +1,41 @@
+"""The paper's contribution: two-level virtual-real cache hierarchies."""
+
+from .checker import (
+    check_all,
+    check_buffer_bits,
+    check_coherence,
+    check_pointer_consistency,
+    check_single_copy,
+)
+from .config import (
+    HierarchyConfig,
+    HierarchyKind,
+    Protocol,
+    min_l2_associativity_for_strict_inclusion,
+)
+from .l1 import L1Cache
+from .rcache import RCache, RCacheBlock, SubEntry
+from .single import SingleLevelCache
+from .stats import HierarchyStats
+from .twolevel import AccessResult, Outcome, TwoLevelHierarchy
+
+__all__ = [
+    "AccessResult",
+    "HierarchyConfig",
+    "HierarchyKind",
+    "HierarchyStats",
+    "L1Cache",
+    "Outcome",
+    "Protocol",
+    "RCache",
+    "RCacheBlock",
+    "SingleLevelCache",
+    "SubEntry",
+    "TwoLevelHierarchy",
+    "check_all",
+    "check_buffer_bits",
+    "check_coherence",
+    "check_pointer_consistency",
+    "check_single_copy",
+    "min_l2_associativity_for_strict_inclusion",
+]

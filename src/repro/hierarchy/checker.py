@@ -1,0 +1,152 @@
+"""Invariant checkers for a running hierarchy.
+
+These walk the tag stores and verify the structural invariants from
+DESIGN.md §5 — inclusion, pointer consistency, the single-copy synonym
+rule and dirty-state sanity.  They are deliberately slow and thorough;
+the test suite calls them between and after simulations, never the
+simulator itself.
+"""
+
+from __future__ import annotations
+
+from ..common.errors import InclusionError, ProtocolError
+from .config import HierarchyKind
+from .rcache import RCacheBlock
+from .twolevel import TwoLevelHierarchy
+
+
+def check_pointer_consistency(hier: TwoLevelHierarchy) -> None:
+    """Every inclusion bit and every level-1 block agree on linkage.
+
+    Raises :class:`InclusionError` on the first violation.  Only
+    meaningful for inclusion-maintaining hierarchies.
+    """
+    if hier.kind is HierarchyKind.RR_NO_INCLUSION:
+        return
+    # Forward direction: every subentry with inclusion set points at a
+    # present level-1 block whose r-pointer points back.
+    for rblock in hier.rcache.blocks():
+        for index, sub in enumerate(rblock.subentries):
+            if not sub.inclusion:
+                continue
+            if not sub.valid:
+                raise InclusionError(
+                    f"inclusion bit set on invalid subentry {rblock}[{index}]"
+                )
+            if sub.v_pointer is None:
+                raise InclusionError(
+                    f"inclusion bit set without v-pointer at {rblock}[{index}]"
+                )
+            child = hier.l1_caches[sub.v_pointer[0]].block_at(sub.v_pointer)
+            if not child.present:
+                raise InclusionError(
+                    f"v-pointer {sub.v_pointer} names an empty level-1 slot"
+                )
+            if tuple(child.r_pointer) != (rblock.set_index, rblock.way, index):
+                raise InclusionError(
+                    f"r-pointer of {child!r} does not point back to "
+                    f"({rblock.set_index}, {rblock.way}, {index})"
+                )
+            if sub.vdirty and not child.dirty:
+                raise InclusionError(
+                    f"vdirty set but child clean at {rblock}[{index}]"
+                )
+            if child.dirty and not sub.vdirty:
+                raise InclusionError(
+                    f"child dirty but vdirty clear at {rblock}[{index}]"
+                )
+    # Reverse direction: every present level-1 block has a parent with
+    # the inclusion bit set and a matching v-pointer.
+    for l1 in hier.l1_caches:
+        for block in l1.store.present_blocks():
+            r_set, r_way, sub_index = block.r_pointer
+            rblock = hier.rcache.store.ways(r_set)[r_way]
+            if not isinstance(rblock, RCacheBlock):
+                raise InclusionError("level-2 store holds a non-R block")
+            sub = rblock.subentries[sub_index]
+            if not (sub.valid and sub.inclusion):
+                raise InclusionError(
+                    f"{l1.name} block {block!r} has no live parent subentry"
+                )
+            if sub.v_pointer != l1.slot(block):
+                raise InclusionError(
+                    f"parent v-pointer {sub.v_pointer} does not name "
+                    f"{l1.slot(block)}"
+                )
+
+
+def check_buffer_bits(hier: TwoLevelHierarchy) -> None:
+    """Buffer bits and write-buffer entries correspond one-to-one."""
+    if hier.kind is HierarchyKind.RR_NO_INCLUSION:
+        return
+    flagged = {
+        hier.rcache.pblock_of(rblock, index)
+        for rblock in hier.rcache.blocks()
+        for index, sub in enumerate(rblock.subentries)
+        if sub.valid and sub.buffer
+    }
+    buffered = {entry.pblock for entry in hier.write_buffer.entries()}
+    if flagged != buffered:
+        raise InclusionError(
+            f"buffer bits {sorted(flagged)} != write-buffer contents "
+            f"{sorted(buffered)}"
+        )
+
+
+def check_single_copy(hier: TwoLevelHierarchy) -> None:
+    """At most one level-1 copy of any physical block exists.
+
+    For a virtual level 1 the physical identity of a block is its
+    parent subentry; the inclusion-pointer structure enforces
+    uniqueness, which this check confirms by counting children per
+    subentry and, independently, parents per child.
+    """
+    if hier.kind is HierarchyKind.RR_NO_INCLUSION:
+        return
+    seen: dict[tuple[int, int, int], tuple[int, int, int]] = {}
+    for l1 in hier.l1_caches:
+        for block in l1.store.present_blocks():
+            pointer = tuple(block.r_pointer)
+            slot = l1.slot(block)
+            if pointer in seen:
+                raise InclusionError(
+                    f"two level-1 copies {seen[pointer]} and {slot} share "
+                    f"parent {pointer}"
+                )
+            seen[pointer] = slot  # type: ignore[index]
+
+
+def check_coherence(hierarchies: list[TwoLevelHierarchy]) -> None:
+    """A physical block is dirty in at most one hierarchy machine-wide."""
+    owners: dict[int, int] = {}
+
+    def claim(pblock: int, cpu: int) -> None:
+        if pblock in owners and owners[pblock] != cpu:
+            raise ProtocolError(
+                f"block {pblock:#x} dirty in hierarchies {owners[pblock]} "
+                f"and {cpu}"
+            )
+        owners[pblock] = cpu
+
+    for hier in hierarchies:
+        for rblock in hier.rcache.blocks():
+            for index, sub in enumerate(rblock.subentries):
+                if sub.valid and sub.dirty_anywhere:
+                    claim(hier.rcache.pblock_of(rblock, index), hier.cpu)
+        for entry in hier.write_buffer.entries():
+            claim(entry.pblock, hier.cpu)
+        if hier.kind is HierarchyKind.RR_NO_INCLUSION:
+            for l1 in hier.l1_caches:
+                for block in l1.store.present_blocks():
+                    if block.dirty:
+                        paddr = l1.config.address_of(
+                            block.tag, block.set_index
+                        )
+                        claim(paddr >> hier.config.l1.block_bits, hier.cpu)
+
+
+def check_all(hier: TwoLevelHierarchy) -> None:
+    """Run every single-hierarchy invariant check."""
+    check_pointer_consistency(hier)
+    check_buffer_bits(hier)
+    check_single_copy(hier)

@@ -1,0 +1,169 @@
+"""Configuration of a two-level hierarchy."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..cache.config import CacheConfig
+from ..coherence.protocol import WritePolicy
+from ..common.errors import ConfigurationError
+
+
+class Protocol(enum.Enum):
+    """Bus coherence protocol run at the second level.
+
+    The paper assumes write-invalidate "although our scheme will also
+    work for other protocols"; the write-update variant exists to test
+    that claim.
+    """
+
+    WRITE_INVALIDATE = "invalidate"
+    WRITE_UPDATE = "update"
+
+
+class HierarchyKind(enum.Enum):
+    """The three organisations the paper compares."""
+
+    VR = "vr"                    # virtual L1, physical L2, inclusion
+    RR_INCLUSION = "rr-incl"     # physical L1 and L2, inclusion imposed
+    RR_NO_INCLUSION = "rr-noincl"  # physical L1 and L2, no inclusion
+
+    @property
+    def virtual_l1(self) -> bool:
+        """True when level 1 is virtually addressed."""
+        return self is HierarchyKind.VR
+
+    @property
+    def inclusion(self) -> bool:
+        """True when the level-2 cache shields level 1 (inclusion held)."""
+        return self is not HierarchyKind.RR_NO_INCLUSION
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Everything needed to instantiate one processor's hierarchy.
+
+    Attributes:
+        l1: level-1 geometry (for split I/D, the size of *each half*
+            is ``l1.size // 2`` — pass the combined size here).
+        l2: level-2 geometry.
+        kind: organisation (V-R, R-R with or without inclusion).
+        split_l1: split level 1 into equal I and D caches.
+        write_buffer_capacity: entries in the L1→L2 write buffer.
+        page_size: virtual memory page size (pointer-width bookkeeping).
+        l2_replacement: policy name for level 2 ("lru"/"fifo"/"random").
+
+    >>> cfg = HierarchyConfig.sized("16K", "256K")
+    >>> cfg.l1.n_sets
+    1024
+    """
+
+    l1: CacheConfig
+    l2: CacheConfig
+    kind: HierarchyKind = HierarchyKind.VR
+    split_l1: bool = False
+    write_buffer_capacity: int = 1
+    page_size: int = 4096
+    l1_replacement: str = "lru"
+    l2_replacement: str = "lru"
+    # Section 2's alternative to flushing the V-cache at context
+    # switches: tag every V-cache entry with a process identifier.
+    # The paper rejects it (no hit-ratio gain for small caches, plus
+    # purge complexity when TLB entries or pids are recycled); the
+    # option exists so that trade-off can be measured.  VR only.
+    l1_pid_tags: bool = False
+    # Level-1 write policy.  The paper argues for write-back (section
+    # 2); the write-through alternative (no write-allocate, writes
+    # buffered toward level 2) exists so the buffer-pressure and
+    # coherence costs the paper cites can be measured.
+    l1_write_policy: WritePolicy = WritePolicy.WRITE_BACK
+    # Coherence protocol at the second level.
+    protocol: Protocol = Protocol.WRITE_INVALIDATE
+
+    @classmethod
+    def sized(
+        cls,
+        l1_size: int | str,
+        l2_size: int | str,
+        block_size: int | str = 16,
+        l2_block_size: int | str | None = None,
+        kind: HierarchyKind = HierarchyKind.VR,
+        l1_associativity: int = 1,
+        l2_associativity: int = 1,
+        **kwargs: object,
+    ) -> "HierarchyConfig":
+        """Convenience constructor from size spellings like "16K"."""
+        l1 = CacheConfig.create(l1_size, block_size, l1_associativity)
+        l2 = CacheConfig.create(
+            l2_size,
+            l2_block_size if l2_block_size is not None else block_size,
+            l2_associativity,
+        )
+        return cls(l1=l1, l2=l2, kind=kind, **kwargs)  # type: ignore[arg-type]
+
+    def __post_init__(self) -> None:
+        if self.l2.size < self.l1.size:
+            raise ConfigurationError(
+                f"level 2 ({self.l2.size}B) smaller than level 1 ({self.l1.size}B)"
+            )
+        if self.l2.block_size % self.l1.block_size:
+            raise ConfigurationError(
+                "level-2 block size must be a multiple of level-1 block size"
+            )
+        if self.l2.block_size // self.l1.block_size > 64:
+            raise ConfigurationError("more than 64 subentries per level-2 block")
+        if self.split_l1 and self.l1.size // 2 < self.l1.block_size:
+            raise ConfigurationError("level 1 too small to split into I and D")
+        if self.write_buffer_capacity < 1:
+            raise ConfigurationError("write buffer capacity must be >= 1")
+        if self.l1_pid_tags and not self.kind.virtual_l1:
+            raise ConfigurationError(
+                "pid tags only apply to a virtually-addressed level 1"
+            )
+
+    @property
+    def subentries_per_l2_block(self) -> int:
+        """Level-1-sized sub-blocks per level-2 block."""
+        return self.l2.block_size // self.l1.block_size
+
+    def l1_half(self) -> CacheConfig:
+        """Geometry of one half of a split level 1."""
+        return CacheConfig(
+            self.l1.size // 2, self.l1.block_size, self.l1.associativity
+        )
+
+    def describe(self) -> str:
+        """Short label like 'vr 16K/256K'."""
+        split = " split-I/D" if self.split_l1 else ""
+        return (
+            f"{self.kind.value} {self.l1.describe()} + {self.l2.describe()}{split}"
+        )
+
+
+def min_l2_associativity_for_strict_inclusion(
+    l1: CacheConfig, l2: CacheConfig, page_size: int = 4096
+) -> int:
+    """Section 2's bound: the level-2 associativity that guarantees
+    inclusion under the *strict* replacement rule (always replace a
+    block absent from level 1).
+
+    ::
+
+        A2 >= size(1)/pagesize * B2/B1
+
+    valid in the usual situation ``S2 > S1``, ``B2 >= B1``,
+    ``size(2) > size(1)`` and ``B1*S1 >= pagesize``.  The paper's
+    example: a 16K level 1 with 4K pages and B2 = 4*B1 forces a 16-way
+    level 2 — which is why the paper relaxes the replacement rule
+    (prefer unencumbered victims, else back-invalidate) instead.
+    """
+    if l2.block_size < l1.block_size:
+        raise ConfigurationError("bound assumes B2 >= B1")
+    if l1.block_size * l1.n_sets < page_size:
+        raise ConfigurationError(
+            "bound assumes the level-1 index reaches past the page offset "
+            "(B1*S1 >= pagesize); below that, inclusion is free"
+        )
+    blocks_ratio = l2.block_size // l1.block_size
+    return max(1, (l1.size // page_size) * blocks_ratio)

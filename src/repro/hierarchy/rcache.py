@@ -1,0 +1,210 @@
+"""The second-level physical cache (R-cache).
+
+Per the paper's Figure 3, each R-cache tag entry holds one *subentry*
+per level-1-sized sub-block.  A subentry records whether the sub-block
+has a child in the level-1 cache (inclusion bit), whether the only
+up-to-date copy sits in the level-1 write buffer (buffer bit), the
+sharing state used by the snooping protocol, two dirty bits (vdirty:
+the level-1 child is modified; rdirty: the R-cache's own copy is
+modified) and the v-pointer locating the child.
+
+Pointer representation: the hardware stores the low bits of the
+page number, which resolve to a *set*; the way is found by searching
+back-pointers.  The simulator stores ``(set, way)`` directly — an
+unambiguous encoding of the same linkage (see DESIGN.md §6).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from ..cache.block import CacheBlock
+from ..cache.config import CacheConfig
+from ..cache.tagstore import TagStore
+from ..coherence.protocol import ShareState
+
+#: A (set, way) slot pointer into the other cache level.
+Slot = tuple[int, int]
+
+
+class SubEntry:
+    """Per-sub-block bookkeeping of one R-cache tag entry."""
+
+    __slots__ = (
+        "valid",
+        "inclusion",
+        "buffer",
+        "state",
+        "vdirty",
+        "rdirty",
+        "v_pointer",
+        "version",
+    )
+
+    def __init__(self) -> None:
+        self.valid = False
+        self.inclusion = False
+        self.buffer = False
+        self.state = ShareState.PRIVATE
+        self.vdirty = False
+        self.rdirty = False
+        self.v_pointer: Slot | None = None
+        self.version = 0
+
+    @property
+    def unencumbered(self) -> bool:
+        """True when no level-1 copy exists (inclusion and buffer clear)."""
+        return not self.inclusion and not self.buffer
+
+    @property
+    def dirty_anywhere(self) -> bool:
+        """True when this hierarchy holds newer data than memory."""
+        return self.vdirty or self.rdirty or self.buffer
+
+    def reset(self) -> None:
+        """Return to the power-on state."""
+        self.valid = False
+        self.inclusion = False
+        self.buffer = False
+        self.state = ShareState.PRIVATE
+        self.vdirty = False
+        self.rdirty = False
+        self.v_pointer = None
+        self.version = 0
+
+    def fill(self, version: int, shared: bool) -> None:
+        """Install a clean copy fetched from the bus."""
+        self.reset()
+        self.valid = True
+        self.version = version
+        self.state = ShareState.SHARED if shared else ShareState.PRIVATE
+
+    def __repr__(self) -> str:
+        flags = "".join(
+            ch
+            for ch, on in (
+                ("V", self.valid),
+                ("I", self.inclusion),
+                ("B", self.buffer),
+                ("v", self.vdirty),
+                ("r", self.rdirty),
+            )
+            if on
+        )
+        return f"SubEntry({self.state.value}, flags={flags or '-'})"
+
+
+class RCacheBlock(CacheBlock):
+    """An R-cache tag entry: a tag plus its subentries.
+
+    ``valid`` on the base class mirrors "any subentry valid" so the
+    generic tag-store search works unchanged.
+    """
+
+    __slots__ = ("subentries",)
+
+    def __init__(self, set_index: int, way: int, n_subentries: int = 1) -> None:
+        super().__init__(set_index, way)
+        self.subentries = [SubEntry() for _ in range(n_subentries)]
+
+    def refresh_valid(self) -> None:
+        """Recompute the block-level valid bit from the subentries."""
+        self.valid = any(sub.valid for sub in self.subentries)
+
+    def invalidate(self) -> None:
+        """Drop the block and all its subentries."""
+        super().invalidate()
+        for sub in self.subentries:
+            sub.reset()
+
+    @property
+    def unencumbered(self) -> bool:
+        """True when no subentry has a level-1 copy."""
+        return all(sub.unencumbered for sub in self.subentries)
+
+
+class RCache:
+    """Tag store plus sub-block addressing for the second level.
+
+    The hierarchy object orchestrates misses and coherence; this class
+    owns geometry, lookup and victim preference.
+    """
+
+    def __init__(
+        self,
+        config: CacheConfig,
+        n_subentries: int,
+        replacement: str = "lru",
+        seed: int = 0,
+    ) -> None:
+        self.config = config
+        self.n_subentries = n_subentries
+        self.store = TagStore(
+            config,
+            block_factory=lambda s, w: RCacheBlock(s, w, n_subentries),
+            replacement=replacement,
+            seed=seed,
+        )
+        # Sub-block geometry: the level-1 block size.
+        self.sub_block_size = config.block_size // n_subentries
+        self._sub_bits = self.sub_block_size.bit_length() - 1
+
+    # -- addressing ------------------------------------------------------
+
+    def sub_index(self, paddr: int) -> int:
+        """Which subentry of its block *paddr* falls in."""
+        return (paddr >> self._sub_bits) & (self.n_subentries - 1)
+
+    def pblock_of(self, block: RCacheBlock, sub_index: int) -> int:
+        """Physical sub-block number stored at (block, sub_index)."""
+        base = self.config.address_of(block.tag, block.set_index)
+        return (base >> self._sub_bits) + sub_index
+
+    def sub_block_number(self, paddr: int) -> int:
+        """Physical sub-block number (the coherence/memory granule)."""
+        return paddr >> self._sub_bits
+
+    # -- lookup ------------------------------------------------------------
+
+    def lookup(self, paddr: int) -> tuple[RCacheBlock, SubEntry] | None:
+        """Find the valid subentry covering *paddr*, if present."""
+        block = self.store.find(paddr)
+        if block is None:
+            return None
+        sub = block.subentries[self.sub_index(paddr)]
+        if not sub.valid:
+            return None
+        return block, sub  # type: ignore[return-value]
+
+    def lookup_sub_block(self, pblock: int) -> tuple[RCacheBlock, SubEntry] | None:
+        """Like :meth:`lookup` but keyed by sub-block number."""
+        return self.lookup(pblock << self._sub_bits)
+
+    def slot(self, block: RCacheBlock) -> Slot:
+        """The (set, way) pointer value naming *block*."""
+        return (block.set_index, block.way)
+
+    def block_at(self, slot: Slot) -> RCacheBlock:
+        """Dereference a (set, way) pointer."""
+        return self.store.ways(slot[0])[slot[1]]  # type: ignore[return-value]
+
+    # -- victim choice --------------------------------------------------------
+
+    def victim(self, paddr: int, prefer_unencumbered: bool) -> RCacheBlock:
+        """Choose the block the fill for *paddr* will replace.
+
+        With *prefer_unencumbered* (the paper's relaxed inclusion
+        rule), ways whose subentries all lack level-1 children are
+        preferred; only if none exists may a block with children be
+        chosen, in which case the hierarchy must invalidate those
+        children.
+        """
+        if prefer_unencumbered:
+            return self.store.victim(
+                paddr, prefer=lambda b: b.unencumbered  # type: ignore[attr-defined]
+            )
+        return self.store.victim(paddr)
+
+    def blocks(self) -> Iterator[RCacheBlock]:
+        """Iterate every block (for checkers and snoop-by-scan tests)."""
+        return iter(self.store)  # type: ignore[return-value]

@@ -1,0 +1,144 @@
+"""A single-level cache front end for write-traffic studies.
+
+Tables 1–3 of the paper characterise write behaviour using a single
+16K direct-mapped cache.  This model supports both write policies:
+
+* **write-through** (no write-allocate by default) — every processor
+  write generates downstream traffic; the inter-write interval
+  histogram it produces is the paper's Table 2.
+* **write-back** (write-allocate) — only dirty evictions generate
+  downstream traffic; combined with :meth:`context_switch` semantics
+  (eager flush vs. lazy swapped-valid) it produces Table 3 and the
+  "over a hundred write-backs per switch" contrast the paper cites.
+
+The cache is keyed by virtual address alone, like the V-cache.
+"""
+
+from __future__ import annotations
+
+from ..cache.config import CacheConfig
+from ..cache.tagstore import TagStore
+from ..coherence.protocol import AllocPolicy, WritePolicy
+from ..common.stats import CounterBag, IntervalHistogram
+from ..trace.record import RefKind
+
+
+class SingleLevelCache:
+    """One cache plus downstream write-traffic accounting.
+
+    >>> cache = SingleLevelCache(CacheConfig.create("16K", 16))
+    >>> _ = cache.access(0x1000, RefKind.WRITE)
+    >>> cache.stats["writes"]
+    1
+    """
+
+    def __init__(
+        self,
+        config: CacheConfig,
+        write_policy: WritePolicy = WritePolicy.WRITE_THROUGH,
+        alloc_policy: AllocPolicy | None = None,
+        lazy_swap: bool = False,
+        replacement: str = "lru",
+        seed: int = 0,
+    ) -> None:
+        if alloc_policy is None:
+            alloc_policy = (
+                AllocPolicy.NO_WRITE_ALLOCATE
+                if write_policy is WritePolicy.WRITE_THROUGH
+                else AllocPolicy.WRITE_ALLOCATE
+            )
+        self.config = config
+        self.write_policy = write_policy
+        self.alloc_policy = alloc_policy
+        self.lazy_swap = lazy_swap
+        self.store = TagStore(config, replacement=replacement, seed=seed)
+        self.stats = CounterBag()
+        self.write_intervals = IntervalHistogram(top=10)
+        self.swapped_write_intervals = IntervalHistogram(top=10)
+        self._refs = 0
+        self._last_downstream_write: int | None = None
+        self._last_swapped_write: int | None = None
+
+    # -- internals ---------------------------------------------------------
+
+    def _downstream_write(self, swapped: bool = False) -> None:
+        self.stats.add("downstream_writes")
+        if swapped:
+            self.stats.add("swapped_downstream_writes")
+        if self._last_downstream_write is not None:
+            interval = self._refs - self._last_downstream_write
+            if interval >= 1:
+                self.write_intervals.record(interval)
+        self._last_downstream_write = self._refs
+        if swapped:
+            if self._last_swapped_write is not None:
+                interval = self._refs - self._last_swapped_write
+                if interval >= 1:
+                    self.swapped_write_intervals.record(interval)
+            self._last_swapped_write = self._refs
+
+    def _fill(self, addr: int) -> None:
+        victim = self.store.victim(addr)
+        if victim.present:
+            self.stats.add("evictions")
+            if victim.dirty:
+                self._downstream_write(swapped=victim.swapped_valid)
+        victim.fill(self.config.tag(addr), 0, 0)
+        self.store.note_install(victim)
+
+    # -- public API -----------------------------------------------------------
+
+    def access(self, vaddr: int, kind: RefKind) -> bool:
+        """Process one reference; returns True on a (valid) hit."""
+        self._refs += 1
+        self.stats.add(
+            {"i": "instr_refs", "r": "reads", "w": "writes"}[kind.value]
+        )
+        block = self.store.access(vaddr)
+        hit = block is not None
+
+        if kind is RefKind.WRITE:
+            if self.write_policy is WritePolicy.WRITE_THROUGH:
+                # The write goes downstream whether it hit or not.
+                self._downstream_write()
+                if not hit and self.alloc_policy is AllocPolicy.WRITE_ALLOCATE:
+                    self._fill(vaddr)
+            else:
+                if not hit and self.alloc_policy is AllocPolicy.WRITE_ALLOCATE:
+                    self._fill(vaddr)
+                    block = self.store.access(vaddr)
+                if block is not None:
+                    block.dirty = True
+        elif not hit:
+            self._fill(vaddr)
+
+        self.stats.add("hits" if hit else "misses")
+        self.stats.add(f"{'hits' if hit else 'misses'}_{kind.value}")
+        return hit
+
+    def context_switch(self) -> int:
+        """Flush for a context switch.
+
+        With *lazy_swap* (the paper's swapped-valid scheme) blocks are
+        demoted and written back later on replacement; otherwise dirty
+        blocks are written back immediately.  Returns the number of
+        immediate write-backs.
+        """
+        self.stats.add("context_switches")
+        if self.lazy_swap:
+            self.stats.add("swapped_blocks", self.store.swap_out_all())
+            return 0
+        immediate = 0
+        for block in self.store:
+            if block.present and block.dirty:
+                self._downstream_write()
+                immediate += 1
+            block.invalidate()
+        self.stats.add("switch_writebacks", immediate)
+        return immediate
+
+    @property
+    def hit_ratio(self) -> float:
+        """Overall hit ratio so far."""
+        total = self.stats["hits"] + self.stats["misses"]
+        return self.stats["hits"] / total if total else 0.0

@@ -1,0 +1,14 @@
+"""Virtual memory substrate: address spaces, page tables, TLB."""
+
+from .address_space import MemoryLayout, Segment
+from .page_table import FrameAllocator, PageTable, ReverseMap
+from .tlb import TLB
+
+__all__ = [
+    "FrameAllocator",
+    "MemoryLayout",
+    "PageTable",
+    "ReverseMap",
+    "Segment",
+    "TLB",
+]

@@ -1,0 +1,123 @@
+"""Per-process page tables and the machine-wide frame allocator.
+
+Virtual and physical addresses are plain integers.  A page table maps
+virtual page numbers to physical frame numbers for one process; the
+:class:`FrameAllocator` hands out physical frames machine-wide so that
+shared segments of different processes can resolve to the same frames
+(which is what creates synonyms).
+
+The reverse map (frame -> every (pid, vpage) naming it) is maintained
+eagerly.  The real hardware analogue is the reverse translation table
+the paper locates at the second-level cache; the simulator also uses
+it for invariant checking.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from ..common.errors import ConfigurationError, TranslationError
+from ..common.params import log2_exact
+
+
+class FrameAllocator:
+    """Allocates physical page frames sequentially.
+
+    The simulator never frees frames: synthetic workloads build their
+    address spaces once up front, so a bump allocator is sufficient
+    and keeps physical layout deterministic.
+    """
+
+    def __init__(self, page_size: int = 4096) -> None:
+        self.page_size = page_size
+        log2_exact(page_size, "page size")
+        self._next_frame = 0
+
+    def allocate(self, n_frames: int = 1) -> int:
+        """Reserve *n_frames* consecutive frames, returning the first."""
+        if n_frames < 1:
+            raise ConfigurationError(f"cannot allocate {n_frames} frames")
+        first = self._next_frame
+        self._next_frame += n_frames
+        return first
+
+    @property
+    def frames_allocated(self) -> int:
+        """Number of frames handed out so far."""
+        return self._next_frame
+
+
+class PageTable:
+    """Virtual-to-physical mapping for a single process.
+
+    >>> alloc = FrameAllocator(page_size=4096)
+    >>> pt = PageTable(pid=1, page_size=4096)
+    >>> frame = alloc.allocate()
+    >>> pt.map(vpage=16, frame=frame)
+    >>> pt.translate_page(16) == frame
+    True
+    """
+
+    def __init__(self, pid: int, page_size: int = 4096) -> None:
+        self.pid = pid
+        self.page_size = page_size
+        self._page_shift = log2_exact(page_size, "page size")
+        self._map: dict[int, int] = {}
+
+    def map(self, vpage: int, frame: int) -> None:
+        """Map virtual page *vpage* to physical frame *frame*.
+
+        Remapping an already-mapped page is rejected: the synthetic
+        workloads never remap, so a collision means two segments
+        overlap, which is a configuration bug worth failing on.
+        """
+        if vpage in self._map:
+            raise ConfigurationError(
+                f"pid {self.pid}: virtual page {vpage:#x} already mapped"
+            )
+        self._map[vpage] = frame
+
+    def translate_page(self, vpage: int) -> int:
+        """Return the physical frame of *vpage*, or raise TranslationError."""
+        try:
+            return self._map[vpage]
+        except KeyError:
+            raise TranslationError(
+                f"pid {self.pid}: no mapping for virtual page {vpage:#x}"
+            ) from None
+
+    def translate(self, vaddr: int) -> int:
+        """Translate a full virtual address to a physical address."""
+        vpage, offset = divmod(vaddr, self.page_size)
+        return (self.translate_page(vpage) << self._page_shift) | offset
+
+    def mapped_pages(self) -> list[int]:
+        """All mapped virtual page numbers, sorted."""
+        return sorted(self._map)
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+
+class ReverseMap:
+    """Machine-wide frame -> [(pid, vpage), ...] index.
+
+    Used by tests and consistency checkers to enumerate synonyms, and
+    by the trace generator to decide which virtual names exist for a
+    shared frame.
+    """
+
+    def __init__(self) -> None:
+        self._aliases: dict[int, list[tuple[int, int]]] = defaultdict(list)
+
+    def note(self, frame: int, pid: int, vpage: int) -> None:
+        """Record that (pid, vpage) maps to *frame*."""
+        self._aliases[frame].append((pid, vpage))
+
+    def aliases(self, frame: int) -> list[tuple[int, int]]:
+        """Every (pid, vpage) pair naming *frame* (may be empty)."""
+        return list(self._aliases.get(frame, ()))
+
+    def synonym_frames(self) -> list[int]:
+        """Frames with more than one virtual name, sorted."""
+        return sorted(f for f, names in self._aliases.items() if len(names) > 1)

@@ -1,0 +1,30 @@
+"""Closed-form performance model and report rendering."""
+
+from .cycles import CycleBreakdown, account_cycles, compare_organisations
+from .model import (
+    HitRatios,
+    SlowdownSeries,
+    TimingParams,
+    access_time,
+    crossover_slowdown,
+    relative_advantage,
+    slowdown_sweep,
+)
+from .plot import ascii_chart
+from .tables import render, render_ratio
+
+__all__ = [
+    "CycleBreakdown",
+    "HitRatios",
+    "SlowdownSeries",
+    "TimingParams",
+    "access_time",
+    "account_cycles",
+    "ascii_chart",
+    "compare_organisations",
+    "crossover_slowdown",
+    "relative_advantage",
+    "render",
+    "render_ratio",
+    "slowdown_sweep",
+]

@@ -1,0 +1,135 @@
+"""The paper's closed-form timing model (section 4).
+
+The generic access-time equation of a two-level hierarchy::
+
+    T_acc = h1*t1 + (1 - h1)*h2*t2 + (1 - h1)*(1 - h2)*tm
+
+Hit ratios come from simulation; times are parameters (the paper uses
+t2 = 4*t1 and plots T_acc against the percentage slow-down that
+address translation adds to the level-1 access of the *physical*
+hierarchy).  Synonym handling costs the same as a level-1 miss that
+hits at level 2, which is exactly how the simulator accounts it, so
+no extra term is needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TimingParams:
+    """Access times in units of the baseline level-1 hit time.
+
+    Attributes:
+        t1: level-1 hit time.
+        t2: level-2 access time (paper: 4 * t1).
+        tm: memory access time including bus overhead.
+    """
+
+    t1: float = 1.0
+    t2: float = 4.0
+    tm: float = 12.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.t1 <= self.t2 <= self.tm:
+            raise ConfigurationError(
+                f"need 0 < t1 <= t2 <= tm, got {self.t1}, {self.t2}, {self.tm}"
+            )
+
+
+@dataclass(frozen=True)
+class HitRatios:
+    """(h1, h2) of one hierarchy, as measured by simulation."""
+
+    h1: float
+    h2: float
+
+    def __post_init__(self) -> None:
+        for name, value in (("h1", self.h1), ("h2", self.h2)):
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+
+
+def access_time(
+    ratios: HitRatios, timing: TimingParams, l1_slowdown: float = 0.0
+) -> float:
+    """Average access time, with level-1 slowed by *l1_slowdown*.
+
+    *l1_slowdown* is fractional (0.06 = 6 %); it models the address
+    translation overhead a physically-addressed level-1 cache pays.
+
+    >>> access_time(HitRatios(0.9, 0.5), TimingParams(1, 4, 12))
+    1.7
+    """
+    if l1_slowdown < 0:
+        raise ConfigurationError(f"slow-down must be >= 0, got {l1_slowdown}")
+    t1 = timing.t1 * (1.0 + l1_slowdown)
+    h1, h2 = ratios.h1, ratios.h2
+    miss1 = 1.0 - h1
+    return h1 * t1 + miss1 * h2 * timing.t2 + miss1 * (1.0 - h2) * timing.tm
+
+
+@dataclass(frozen=True)
+class SlowdownSeries:
+    """One curve of the paper's Figures 4-6.
+
+    ``times[i]`` is the average access time at ``slowdowns[i]``
+    (fractions).  The V-R curve is flat (no translation before level
+    1); the R-R curve rises with the slow-down.
+    """
+
+    slowdowns: tuple[float, ...]
+    vr_times: tuple[float, ...]
+    rr_times: tuple[float, ...]
+
+
+def slowdown_sweep(
+    vr: HitRatios,
+    rr: HitRatios,
+    timing: TimingParams = TimingParams(),
+    max_slowdown: float = 0.10,
+    steps: int = 11,
+) -> SlowdownSeries:
+    """Sweep the level-1 translation slow-down from 0 to *max_slowdown*."""
+    if steps < 2:
+        raise ConfigurationError("need at least two sweep points")
+    slowdowns = tuple(max_slowdown * i / (steps - 1) for i in range(steps))
+    vr_time = access_time(vr, timing)
+    return SlowdownSeries(
+        slowdowns=slowdowns,
+        vr_times=tuple(vr_time for _ in slowdowns),
+        rr_times=tuple(access_time(rr, timing, s) for s in slowdowns),
+    )
+
+
+def crossover_slowdown(
+    vr: HitRatios, rr: HitRatios, timing: TimingParams = TimingParams()
+) -> float:
+    """The slow-down at which the R-R hierarchy becomes slower than V-R.
+
+    Solves ``T_rr(s) = T_vr`` for s.  Negative values mean the V-R
+    hierarchy is already faster with no translation penalty at all;
+    the paper reports ~6 % for the frequent-switch trace.
+    """
+    vr_time = access_time(vr, timing)
+    rr_base = access_time(rr, timing)
+    # T_rr(s) = rr_base + h1_rr * t1 * s  (only the level-1 term scales)
+    slope = rr.h1 * timing.t1
+    if slope == 0.0:
+        raise ConfigurationError("R-R level-1 hit ratio is zero; no crossover")
+    return (vr_time - rr_base) / slope
+
+
+def relative_advantage(
+    vr: HitRatios,
+    rr: HitRatios,
+    timing: TimingParams = TimingParams(),
+    l1_slowdown: float = 0.0,
+) -> float:
+    """(T_rr - T_vr) / T_rr at the given slow-down: >0 means V-R wins."""
+    vr_time = access_time(vr, timing)
+    rr_time = access_time(rr, timing, l1_slowdown)
+    return (rr_time - vr_time) / rr_time

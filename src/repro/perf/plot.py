@@ -1,0 +1,72 @@
+"""ASCII line charts for the figure experiments.
+
+Dependency-free rendering of the Figures 4-6 curves so the benchmark
+artefacts carry a visual of the crossover, not just the numbers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..common.errors import ConfigurationError
+
+
+def ascii_chart(
+    x_values: Sequence[float],
+    series: dict[str, Sequence[float]],
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Plot one or more series against shared x values.
+
+    Each series gets the first letter of its name as its mark; where
+    two series overlap, ``*`` is drawn.  The y-axis is scaled to the
+    combined data range.
+    """
+    if not series:
+        raise ConfigurationError("nothing to plot")
+    for name, values in series.items():
+        if len(values) != len(x_values):
+            raise ConfigurationError(
+                f"series {name!r} has {len(values)} points for "
+                f"{len(x_values)} x values"
+            )
+    if width < 10 or height < 4:
+        raise ConfigurationError("chart too small to draw")
+
+    all_values = [v for values in series.values() for v in values]
+    lo, hi = min(all_values), max(all_values)
+    if hi == lo:
+        hi = lo + 1.0
+    x_lo, x_hi = min(x_values), max(x_values)
+    x_span = (x_hi - x_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for name, values in series.items():
+        mark = name[0]
+        for x, y in zip(x_values, values):
+            col = round((x - x_lo) / x_span * (width - 1))
+            row = (height - 1) - round((y - lo) / (hi - lo) * (height - 1))
+            grid[row][col] = "*" if grid[row][col] not in (" ", mark) else mark
+
+    lines = []
+    if y_label:
+        lines.append(y_label)
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = f"{hi:8.3f} |"
+        elif i == height - 1:
+            label = f"{lo:8.3f} |"
+        else:
+            label = "         |"
+        lines.append(label + "".join(row))
+    lines.append("         +" + "-" * width)
+    x_axis = f"{x_lo:<10.3g}{x_hi:>{width}.3g}"
+    lines.append("          " + x_axis.strip().ljust(width))
+    if x_label:
+        lines.append(" " * 10 + x_label)
+    legend = "  ".join(f"{name[0]} = {name}" for name in series)
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""Plain-text table rendering shared by experiments and examples.
+
+Kept dependency-free: experiment runners return structured rows and
+call :func:`render` to produce the same table shapes the paper prints.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+Cell = object  # str, int or float
+
+
+def _format_cell(cell: Cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def render(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Cell]],
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table.
+
+    >>> print(render(["a", "b"], [[1, 2.5]], title="demo"))
+    demo
+    a | b
+    --+------
+    1 | 2.500
+    """
+    text_rows = [[_format_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, header has {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip())
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append(
+            " | ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def render_ratio(value: float) -> str:
+    """The paper's hit-ratio spelling: '.925' (no leading zero)."""
+    text = f"{value:.3f}"
+    return text[1:] if text.startswith("0.") else text

@@ -1,0 +1,6 @@
+"""System level: the shared-bus multiprocessor simulator."""
+
+from .dma import DMAEngine
+from .multiprocessor import Multiprocessor, SimulationResult
+
+__all__ = ["DMAEngine", "Multiprocessor", "SimulationResult"]

@@ -1,0 +1,126 @@
+"""Physically-addressed I/O (DMA) against the coherent bus.
+
+Problem 4 of the paper's introduction: "I/O devices use physical
+addresses as well, also requiring reverse translation".  With a
+virtually-addressed cache alone, every DMA transfer would need a
+reverse map or software flushes; the V-R organisation solves it for
+free — the DMA engine issues ordinary physical bus transactions, the
+physically-addressed R-caches snoop them, and the inclusion machinery
+forwards (only) the necessary invalidations and flushes to the
+V-caches.
+
+A DMA read is a coherent READ_MISS (a dirty cache supplies and memory
+is updated); a DMA write is a READ_MODIFIED_WRITE-style transaction
+that invalidates every cached copy before memory takes the new data.
+The engine never caches anything, so it attaches to the bus as a
+snooper that ignores all traffic.
+"""
+
+from __future__ import annotations
+
+from ..cache.config import CacheConfig
+from ..coherence.bus import Bus
+from ..coherence.messages import BusOp, BusTransaction, SnoopReply
+from ..common.errors import ConfigurationError
+from ..common.stats import CounterBag
+
+
+class DMAEngine:
+    """A bus agent doing cache-bypassing physical transfers.
+
+    >>> from repro.coherence.bus import Bus, MainMemory
+    >>> bus = Bus(MainMemory())
+    >>> dma = DMAEngine(bus, block_size=16)
+    >>> dma.write(0x1000, n_bytes=64, version=7)
+    4
+    >>> bus.memory.peek(0x1000 >> 4)
+    7
+    """
+
+    def __init__(self, bus: Bus, block_size: int = 16) -> None:
+        if block_size & (block_size - 1):
+            raise ConfigurationError("block size must be a power of two")
+        self.bus = bus
+        self.block_size = block_size
+        self._block_bits = block_size.bit_length() - 1
+        self.stats = CounterBag()
+        self.port = bus.attach(self)
+
+    # -- bus agent ---------------------------------------------------------
+
+    def snoop(self, txn: BusTransaction) -> SnoopReply:
+        """The engine caches nothing: all snoops are no-ops."""
+        return SnoopReply(has_copy=False)
+
+    # -- transfers -----------------------------------------------------------
+
+    def _blocks(self, paddr: int, n_bytes: int) -> range:
+        if n_bytes < 1:
+            raise ConfigurationError("transfer must cover at least one byte")
+        first = paddr >> self._block_bits
+        last = (paddr + n_bytes - 1) >> self._block_bits
+        return range(first, last + 1)
+
+    def read(self, paddr: int, n_bytes: int) -> list[int]:
+        """Coherent DMA read (device <- memory hierarchy).
+
+        Every covered block is fetched with a read-miss transaction:
+        if some CPU holds it modified (V-cache, write buffer or
+        R-cache), that copy is flushed and supplied.  Returns the
+        observed version of each block, in address order.
+        """
+        versions = []
+        for pblock in self._blocks(paddr, n_bytes):
+            result = self.bus.issue(
+                BusTransaction(BusOp.READ_MISS, self.port, pblock)
+            )
+            assert result.version is not None
+            versions.append(result.version)
+            self.stats.add("blocks_read")
+        self.stats.add("reads")
+        return versions
+
+    def write(self, paddr: int, n_bytes: int, version: int) -> int:
+        """Coherent DMA write (device -> memory).
+
+        Every covered block is claimed with a read-modified-write
+        transaction (flushing and invalidating all cached copies) and
+        then overwritten in memory with *version*.  Returns the number
+        of blocks written.
+        """
+        count = 0
+        for pblock in self._blocks(paddr, n_bytes):
+            self.bus.issue(
+                BusTransaction(BusOp.READ_MODIFIED_WRITE, self.port, pblock)
+            )
+            self.bus.write_back(pblock, version)
+            count += 1
+            self.stats.add("blocks_written")
+        self.stats.add("writes")
+        return count
+
+    def copy(self, src_paddr: int, dst_paddr: int, n_bytes: int) -> int:
+        """Device-driven memory-to-memory copy, block aligned.
+
+        Both ranges must share alignment within a block; each block's
+        version moves from source to destination coherently.
+        """
+        if (src_paddr ^ dst_paddr) & (self.block_size - 1):
+            raise ConfigurationError(
+                "source and destination must be equally aligned"
+            )
+        versions = self.read(src_paddr, n_bytes)
+        dst_blocks = list(self._blocks(dst_paddr, n_bytes))
+        for pblock, version in zip(dst_blocks, versions):
+            self.bus.issue(
+                BusTransaction(BusOp.READ_MODIFIED_WRITE, self.port, pblock)
+            )
+            self.bus.write_back(pblock, version)
+            self.stats.add("blocks_written")
+        self.stats.add("copies")
+        return len(dst_blocks)
+
+    @classmethod
+    def for_config(cls, bus: Bus, l1_config: CacheConfig) -> "DMAEngine":
+        """An engine matching a hierarchy's coherence granularity."""
+        return cls(bus, block_size=l1_config.block_size)

@@ -1,0 +1,40 @@
+"""Trace substrate: records, synthetic generation, surrogates, I/O."""
+
+from .analyze import CallWriteProfile, TraceSummary, profile_call_writes, summarize
+from .record import RefKind, TraceRecord
+from .reuse import ReuseDistanceProfile, profile_reuse_distances
+from .synthetic import CALL_WRITE_WEIGHTS, SyntheticWorkload, WorkloadSpec
+from .textio import dump, load, parse_line
+from .workloads import (
+    ABAQUS,
+    FULL_SCALE_REFS,
+    POPS,
+    THOR,
+    get_spec,
+    make_workload,
+    workload_names,
+)
+
+__all__ = [
+    "ABAQUS",
+    "CALL_WRITE_WEIGHTS",
+    "CallWriteProfile",
+    "FULL_SCALE_REFS",
+    "POPS",
+    "RefKind",
+    "ReuseDistanceProfile",
+    "SyntheticWorkload",
+    "THOR",
+    "TraceRecord",
+    "TraceSummary",
+    "WorkloadSpec",
+    "dump",
+    "get_spec",
+    "load",
+    "make_workload",
+    "parse_line",
+    "profile_reuse_distances",
+    "profile_call_writes",
+    "summarize",
+    "workload_names",
+]

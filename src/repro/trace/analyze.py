@@ -1,0 +1,115 @@
+"""Trace characterisation: the numbers of the paper's Tables 1 and 5.
+
+These analysers consume any iterable of :class:`TraceRecord` — a live
+generator, a materialised list or a parsed trace file.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from collections.abc import Iterable
+
+from .record import RefKind, TraceRecord
+
+
+@dataclass
+class TraceSummary:
+    """Table 5 shape: per-trace reference counts.
+
+    Attributes mirror the table columns; ``cpus`` is the set of CPU
+    indices observed.
+    """
+
+    name: str = ""
+    cpus: set[int] = field(default_factory=set)
+    instr_count: int = 0
+    data_read: int = 0
+    data_write: int = 0
+    context_switches: int = 0
+    calls: int = 0
+
+    @property
+    def total_refs(self) -> int:
+        """Memory references only (markers excluded)."""
+        return self.instr_count + self.data_read + self.data_write
+
+    @property
+    def n_cpus(self) -> int:
+        """Number of distinct CPUs in the trace."""
+        return len(self.cpus)
+
+
+def summarize(records: Iterable[TraceRecord], name: str = "") -> TraceSummary:
+    """Count the Table 5 columns over *records*."""
+    summary = TraceSummary(name=name)
+    for record in records:
+        summary.cpus.add(record.cpu)
+        kind = record.kind
+        if kind is RefKind.INSTR:
+            summary.instr_count += 1
+        elif kind is RefKind.READ:
+            summary.data_read += 1
+        elif kind is RefKind.WRITE:
+            summary.data_write += 1
+        elif kind is RefKind.CSWITCH:
+            summary.context_switches += 1
+        elif kind is RefKind.CALL:
+            summary.calls += 1
+    return summary
+
+
+@dataclass
+class CallWriteProfile:
+    """Table 1 shape: how many writes each procedure call produced.
+
+    ``per_call``maps burst length -> number of calls of that length;
+    ``call_writes`` is the total writes attributed to calls and
+    ``total_writes`` counts every data write in the trace.
+    """
+
+    per_call: Counter[int] = field(default_factory=Counter)
+    call_writes: int = 0
+    total_writes: int = 0
+
+    def rows(self, max_burst: int = 16) -> list[tuple[int, int, int]]:
+        """(burst length, count, total writes) rows as in Table 1."""
+        return [
+            (n, self.per_call.get(n, 0), n * self.per_call.get(n, 0))
+            for n in range(1, max_burst + 1)
+        ]
+
+
+def profile_call_writes(
+    records: Iterable[TraceRecord], cpu: int | None = None
+) -> CallWriteProfile:
+    """Attribute consecutive post-CALL writes to the call (Table 1).
+
+    A call's write burst is the run of data writes immediately
+    following its CALL marker on the same CPU, ended by the first
+    non-write memory reference.  Restricting to one *cpu* mirrors the
+    per-CPU structure of the ATUM traces; by default all CPUs are
+    profiled together.
+    """
+    profile = CallWriteProfile()
+    open_bursts: dict[int, int] = {}
+    for record in records:
+        if cpu is not None and record.cpu != cpu:
+            continue
+        if record.kind is RefKind.CALL:
+            # A call immediately after a call (no writes yet) closes
+            # the previous burst at zero, which we simply drop.
+            open_bursts[record.cpu] = 0
+        elif record.kind is RefKind.WRITE:
+            profile.total_writes += 1
+            if record.cpu in open_bursts:
+                open_bursts[record.cpu] += 1
+                profile.call_writes += 1
+        elif record.is_memory and record.cpu in open_bursts:
+            burst = open_bursts.pop(record.cpu)
+            if burst:
+                profile.per_call[burst] += 1
+    for burst in open_bursts.values():
+        if burst:
+            profile.per_call[burst] += 1
+    return profile

@@ -1,0 +1,66 @@
+"""Trace records: the unit of work every simulator consumes.
+
+A trace is a stream of :class:`TraceRecord`.  Memory references carry
+a CPU, a process id and a virtual address; two marker kinds carry
+control information:
+
+* ``CSWITCH`` — the CPU switches to process ``pid`` (the address field
+  is unused).  The V-cache must invalidate (swapped-valid) on this.
+* ``CALL`` — a procedure-call boundary marker, used by the Table 1
+  analysis to attribute the following stack writes to a call.  It has
+  no memory effect.
+
+The original ATUM traces encode the same information with embedded
+marker records.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class RefKind(enum.Enum):
+    """What a trace record represents."""
+
+    INSTR = "i"
+    READ = "r"
+    WRITE = "w"
+    CSWITCH = "s"
+    CALL = "c"
+
+    @property
+    def is_memory(self) -> bool:
+        """True for records that access memory."""
+        return self in (RefKind.INSTR, RefKind.READ, RefKind.WRITE)
+
+    @property
+    def is_data(self) -> bool:
+        """True for data reads and writes."""
+        return self in (RefKind.READ, RefKind.WRITE)
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One trace event.
+
+    Attributes:
+        cpu: issuing processor index.
+        pid: process running on that CPU when the event was generated
+            (for CSWITCH, the process being switched *to*).
+        kind: event kind.
+        vaddr: virtual byte address (0 for markers).
+    """
+
+    cpu: int
+    pid: int
+    kind: RefKind
+    vaddr: int = 0
+
+    @property
+    def is_memory(self) -> bool:
+        """Shorthand for ``self.kind.is_memory``."""
+        return self.kind.is_memory
+
+    def __str__(self) -> str:
+        return f"{self.cpu} {self.pid} {self.kind.value} {self.vaddr:x}"

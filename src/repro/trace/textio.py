@@ -1,0 +1,56 @@
+"""Plain-text trace files (a din-style format with CPU/PID columns).
+
+Each line is ``<cpu> <pid> <kind> <hex vaddr>``; blank lines and
+``#`` comments are ignored.  The format exists so traces can be dumped
+once and replayed into many simulator configurations, or produced by
+external tools.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from collections.abc import Iterable, Iterator
+
+from ..common.errors import TraceFormatError
+from .record import RefKind, TraceRecord
+
+_KINDS = {kind.value: kind for kind in RefKind}
+
+
+def dump(records: Iterable[TraceRecord], path: str | Path) -> int:
+    """Write *records* to *path*; returns the number written."""
+    count = 0
+    with open(path, "w", encoding="ascii") as handle:
+        for record in records:
+            handle.write(f"{record}\n")
+            count += 1
+    return count
+
+
+def parse_line(line: str, lineno: int = 0) -> TraceRecord | None:
+    """Parse one line; returns None for blanks and comments."""
+    text = line.strip()
+    if not text or text.startswith("#"):
+        return None
+    parts = text.split()
+    if len(parts) != 4:
+        raise TraceFormatError(f"line {lineno}: expected 4 fields, got {len(parts)}")
+    try:
+        cpu = int(parts[0])
+        pid = int(parts[1])
+        kind = _KINDS[parts[2]]
+        vaddr = int(parts[3], 16)
+    except (ValueError, KeyError) as exc:
+        raise TraceFormatError(f"line {lineno}: {exc}") from exc
+    if cpu < 0 or pid < 0 or vaddr < 0:
+        raise TraceFormatError(f"line {lineno}: negative field")
+    return TraceRecord(cpu, pid, kind, vaddr)
+
+
+def load(path: str | Path) -> Iterator[TraceRecord]:
+    """Lazily parse the trace file at *path*."""
+    with open(path, encoding="ascii") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            record = parse_line(line, lineno)
+            if record is not None:
+                yield record

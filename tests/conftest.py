@@ -1,0 +1,85 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.coherence.bus import Bus, MainMemory
+from repro.hierarchy.config import HierarchyConfig, HierarchyKind
+from repro.hierarchy.twolevel import TwoLevelHierarchy
+from repro.mmu.address_space import MemoryLayout
+from repro.trace.synthetic import SyntheticWorkload, WorkloadSpec
+
+
+@pytest.fixture
+def layout() -> MemoryLayout:
+    """A layout with one process owning a few private pages."""
+    layout = MemoryLayout(page_size=4096)
+    layout.add_private_segment(pid=1, name="text", base_vaddr=0x10000, n_pages=8)
+    layout.add_private_segment(pid=1, name="data", base_vaddr=0x40000, n_pages=16)
+    return layout
+
+
+@pytest.fixture
+def synonym_layout() -> MemoryLayout:
+    """Two processes sharing one segment at different virtual bases,
+    plus an intra-process alias pair for process 1."""
+    layout = MemoryLayout(page_size=4096)
+    for pid in (1, 2):
+        layout.add_private_segment(pid, "data", 0x40000, 16)
+    layout.add_shared_segment("shm", [(1, 0x100000), (2, 0x180000)], 4)
+    layout.add_shared_segment("alias", [(1, 0x200000), (1, 0x284000)], 4)
+    return layout
+
+
+def build_hierarchy(
+    layout: MemoryLayout,
+    kind: HierarchyKind = HierarchyKind.VR,
+    l1_size: str = "1K",
+    l2_size: str = "8K",
+    bus: Bus | None = None,
+    **kwargs,
+) -> TwoLevelHierarchy:
+    """One hierarchy on a fresh (or given) bus."""
+    bus = bus if bus is not None else Bus(MainMemory())
+    config = HierarchyConfig.sized(l1_size, l2_size, kind=kind, **kwargs)
+    return TwoLevelHierarchy(config, layout, bus)
+
+
+@pytest.fixture
+def vr(layout: MemoryLayout) -> TwoLevelHierarchy:
+    """A lone V-R hierarchy on its own bus."""
+    return build_hierarchy(layout)
+
+
+@pytest.fixture
+def version_counter():
+    """A shared monotonically increasing version source."""
+    return itertools.count(1).__next__
+
+
+def tiny_spec(**overrides) -> WorkloadSpec:
+    """A fast little workload spec for integration-style tests."""
+    defaults = dict(
+        name="tiny",
+        n_cpus=2,
+        total_refs=8000,
+        context_switches=6,
+        processes_per_cpu=2,
+        seed=42,
+        text_pages=4,
+        data_pages=16,
+        shared_pages=4,
+        alias_pages=2,
+    )
+    defaults.update(overrides)
+    return WorkloadSpec(**defaults)
+
+
+@pytest.fixture
+def tiny_workload() -> SyntheticWorkload:
+    """A small deterministic two-CPU workload."""
+    return SyntheticWorkload(tiny_spec())

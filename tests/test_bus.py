@@ -1,0 +1,122 @@
+"""Unit tests for the snooping bus and version-stamped memory."""
+
+import pytest
+
+from repro.coherence.bus import Bus, MainMemory
+from repro.coherence.messages import BusOp, BusTransaction, SnoopReply
+from repro.common.errors import ProtocolError
+
+
+class _Snooper:
+    """Scripted snooper: replies as configured and records traffic."""
+
+    def __init__(self, has_copy=False, supplied_version=None):
+        self.has_copy = has_copy
+        self.supplied_version = supplied_version
+        self.seen: list[BusTransaction] = []
+
+    def snoop(self, txn):
+        self.seen.append(txn)
+        return SnoopReply(self.has_copy, self.supplied_version)
+
+
+class TestMainMemory:
+    def test_unwritten_block_reads_zero(self):
+        assert MainMemory().read(5) == 0
+
+    def test_write_then_read(self):
+        memory = MainMemory()
+        memory.write(5, 42)
+        assert memory.read(5) == 42
+
+    def test_peek_does_not_count(self):
+        memory = MainMemory()
+        memory.peek(5)
+        assert memory.stats["reads"] == 0
+        memory.read(5)
+        assert memory.stats["reads"] == 1
+
+
+class TestBus:
+    def test_attach_returns_indices(self):
+        bus = Bus()
+        assert bus.attach(_Snooper()) == 0
+        assert bus.attach(_Snooper()) == 1
+        assert bus.n_snoopers == 2
+
+    def test_read_miss_from_memory(self):
+        bus = Bus()
+        bus.attach(_Snooper())
+        bus.memory.write(7, 99)
+        result = bus.issue(BusTransaction(BusOp.READ_MISS, 0, 7))
+        assert result.version == 99
+        assert not result.shared
+
+    def test_origin_not_snooped(self):
+        bus = Bus()
+        origin = _Snooper()
+        other = _Snooper()
+        bus.attach(origin)
+        bus.attach(other)
+        bus.issue(BusTransaction(BusOp.READ_MISS, 0, 7))
+        assert origin.seen == []
+        assert len(other.seen) == 1
+
+    def test_shared_when_peer_has_copy(self):
+        bus = Bus()
+        bus.attach(_Snooper())
+        bus.attach(_Snooper(has_copy=True))
+        result = bus.issue(BusTransaction(BusOp.READ_MISS, 0, 7))
+        assert result.shared
+
+    def test_dirty_peer_supplies_and_memory_updated(self):
+        bus = Bus()
+        bus.attach(_Snooper())
+        bus.attach(_Snooper(has_copy=True, supplied_version=55))
+        result = bus.issue(BusTransaction(BusOp.READ_MISS, 0, 7))
+        assert result.version == 55
+        assert bus.memory.peek(7) == 55
+        assert bus.stats["cache_to_cache"] == 1
+
+    def test_two_suppliers_is_protocol_error(self):
+        bus = Bus()
+        bus.attach(_Snooper())
+        bus.attach(_Snooper(supplied_version=1))
+        bus.attach(_Snooper(supplied_version=2))
+        with pytest.raises(ProtocolError, match="supplied dirty data"):
+            bus.issue(BusTransaction(BusOp.READ_MISS, 0, 7))
+
+    def test_invalidate_returns_no_data(self):
+        bus = Bus()
+        bus.attach(_Snooper())
+        bus.attach(_Snooper(has_copy=True))
+        result = bus.issue(BusTransaction(BusOp.INVALIDATE, 0, 7))
+        assert result.version is None
+        assert result.shared
+
+    def test_write_back_helper(self):
+        bus = Bus()
+        bus.write_back(3, 77)
+        assert bus.memory.peek(3) == 77
+        assert bus.stats["write_back"] == 1
+
+    def test_write_back_transaction_rejected_via_issue(self):
+        bus = Bus()
+        with pytest.raises(ProtocolError):
+            bus.issue(BusTransaction(BusOp.WRITE_BACK, 0, 1))
+
+    def test_transaction_stats_by_type(self):
+        bus = Bus()
+        bus.attach(_Snooper())
+        bus.issue(BusTransaction(BusOp.READ_MISS, 0, 1))
+        bus.issue(BusTransaction(BusOp.INVALIDATE, 0, 1))
+        bus.issue(BusTransaction(BusOp.READ_MODIFIED_WRITE, 0, 1))
+        assert bus.stats["read_miss"] == 1
+        assert bus.stats["invalidate"] == 1
+        assert bus.stats["read_modified_write"] == 1
+
+    def test_coherence_flag_on_ops(self):
+        assert BusOp.READ_MISS.is_coherence
+        assert BusOp.INVALIDATE.is_coherence
+        assert BusOp.READ_MODIFIED_WRITE.is_coherence
+        assert not BusOp.WRITE_BACK.is_coherence

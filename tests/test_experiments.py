@@ -1,0 +1,165 @@
+"""Tests for the experiment runners (tiny scale so they stay fast).
+
+These validate mechanics — every runner produces its table with sane
+data — not the paper-shape claims, which need larger traces and live
+in the benchmark harness (see benchmarks/ and EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.experiments import (
+    clear_caches,
+    experiment_ids,
+    get_runner,
+    simulate,
+    trace_records,
+)
+from repro.experiments.cli import build_parser, main
+from repro.hierarchy.config import HierarchyKind
+
+SCALE = 0.004  # ~13k references per trace: seconds, not minutes
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_present(self):
+        ids = experiment_ids()
+        for required in (
+            "table1",
+            "table2",
+            "table3",
+            "table5",
+            "table6",
+            "table7",
+            "table8_10",
+            "table11_13",
+            "figures",
+        ):
+            assert required in ids
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_runner("table99")
+
+
+class TestInfrastructure:
+    def test_trace_records_cached(self):
+        first, layout_a = trace_records("pops", SCALE)
+        second, layout_b = trace_records("pops", SCALE)
+        assert first is second and layout_a is layout_b
+
+    def test_simulate_memoised(self):
+        a = simulate("pops", SCALE, "1K", "8K", HierarchyKind.VR)
+        b = simulate("pops", SCALE, "1K", "8K", HierarchyKind.VR)
+        assert a is b
+
+    def test_simulate_distinct_kinds_distinct_results(self):
+        a = simulate("pops", SCALE, "1K", "8K", HierarchyKind.VR)
+        b = simulate("pops", SCALE, "1K", "8K", HierarchyKind.RR_INCLUSION)
+        assert a is not b
+
+
+class TestRunners:
+    def test_table1_reports_call_writes(self):
+        result = get_runner("table1")(scale=SCALE)
+        assert result.data["call_writes"] > 0
+        assert 0.1 < result.data["call_fraction"] < 0.6
+        assert "Table 1" in result.text
+
+    def test_table2_intervals_present(self):
+        result = get_runner("table2")(scale=SCALE)
+        assert result.data["writes"] > 0
+        assert sum(result.data["intervals"].values()) > 0
+
+    def test_table2_short_intervals_dominate(self):
+        # The write-through claim: many writes land close together.
+        result = get_runner("table2")(scale=SCALE)
+        assert result.data["intervals"]["1"] > 0
+
+    def test_table3_swapped_writebacks_spread_out(self):
+        result = get_runner("table3")(scale=SCALE)
+        intervals = result.data["intervals"]
+        assert result.data["swapped_writebacks"] > 0
+        # Swapped write-backs are far apart: the catch-all bucket wins.
+        short = sum(intervals[str(i)] for i in range(1, 10))
+        assert intervals["10 and larger"] >= short
+
+    def test_table3_eager_flush_is_bursty(self):
+        result = get_runner("table3")(scale=SCALE)
+        assert result.data["eager_switch_writebacks"] > 10
+
+    def test_table5_matches_specs(self):
+        result = get_runner("table5")(scale=SCALE)
+        assert result.data["pops"]["n_cpus"] == 4
+        assert result.data["abaqus"]["n_cpus"] == 2
+        for trace in ("thor", "pops", "abaqus"):
+            assert result.data[trace]["total_refs"] > 0
+
+    def test_table6_grid_complete(self):
+        result = get_runner("table6")(scale=SCALE)
+        for trace in ("thor", "pops", "abaqus"):
+            for pair in ("4K/64K", "8K/128K", "16K/256K"):
+                cell = result.data[trace][pair]
+                assert 0 < cell["h1_vr"] <= 1
+                assert 0 < cell["h1_rr"] <= 1
+
+    def test_table7_uses_small_sizes(self):
+        result = get_runner("table7")(scale=SCALE)
+        assert ".5K/64K" in result.data["pops"]
+
+    def test_table8_10_split_and_unified(self):
+        result = get_runner("table8_10")(scale=SCALE)
+        cell = result.data["pops"]["4K/64K"]
+        for key in (
+            "read_split",
+            "read_unified",
+            "write_split",
+            "write_unified",
+            "instr_split",
+            "instr_unified",
+            "overall_split",
+            "overall_unified",
+        ):
+            assert 0 < cell[key] <= 1
+
+    def test_table11_13_per_cpu_counts(self):
+        result = get_runner("table11_13")(scale=SCALE)
+        cell = result.data["pops"]["4K/64K"]
+        assert len(cell["VR"]) == 4
+        assert len(result.data["abaqus"]["4K/64K"]["VR"]) == 2
+        # The headline: no inclusion forwards far more traffic.
+        assert sum(cell["RR(no incl)"]) > sum(cell["VR"])
+
+    def test_figures_series_shape(self):
+        result = get_runner("figures")(scale=SCALE)
+        series = result.data["abaqus"]["4K/64K"]
+        assert len(series["slowdowns"]) == len(series["rr_times"])
+        assert series["vr_times"][0] == series["vr_times"][-1]
+        assert "crossover" in series
+
+    def test_result_render_mentions_id(self):
+        result = get_runner("table5")(scale=SCALE)
+        assert "table5" in result.render()
+
+
+class TestCLI:
+    def test_parser_accepts_known_experiment(self):
+        args = build_parser().parse_args(["table5", "--scale", "0.01"])
+        assert args.experiment == "table5"
+        assert args.scale == 0.01
+
+    def test_parser_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table99"])
+
+    def test_main_prints_table(self, capsys):
+        assert main(["table5", "--scale", str(SCALE)]) == 0
+        out = capsys.readouterr().out
+        assert "Table 5" in out

@@ -1,0 +1,407 @@
+"""Behavioural tests for a single two-level hierarchy (no bus peers).
+
+These exercise the paper's section-3 algorithm step by step: hit and
+miss paths, pointer maintenance, write-backs through the buffer,
+synonym resolution (sameset and move), swapped-valid context switches
+and the relaxed inclusion replacement rule.
+"""
+
+import pytest
+
+from tests.conftest import build_hierarchy
+from repro.common.errors import ProtocolError
+from repro.hierarchy.checker import check_all
+from repro.hierarchy.config import HierarchyKind
+from repro.hierarchy.twolevel import Outcome
+from repro.mmu.address_space import MemoryLayout
+from repro.trace.record import RefKind
+
+R = RefKind.READ
+W = RefKind.WRITE
+I = RefKind.INSTR
+
+
+class TestBasicPaths:
+    def test_cold_read_misses_both_levels(self, vr):
+        result = vr.access(1, 0x40000, R)
+        assert result.outcome is Outcome.MEMORY
+        assert vr.stats.counters["l1_misses_r"] == 1
+        assert vr.stats.counters["l2_misses"] == 1
+
+    def test_second_read_hits_l1(self, vr):
+        vr.access(1, 0x40000, R)
+        result = vr.access(1, 0x40004, R)  # same block
+        assert result.outcome is Outcome.L1_HIT
+        assert vr.stats.counters["l1_hits_r"] == 1
+
+    def test_cold_read_version_is_memory_default(self, vr):
+        assert vr.access(1, 0x40000, R).version == 0
+
+    def test_l1_conflict_hits_l2(self, vr):
+        conflict = 0x40000 + vr.config.l1.size  # same L1 set, new tag
+        vr.access(1, 0x40000, R)
+        vr.access(1, conflict, R)
+        result = vr.access(1, 0x40000, R)
+        assert result.outcome is Outcome.L2_HIT
+        assert vr.stats.counters["l2_hits"] >= 1
+
+    def test_inclusion_bit_set_after_fill(self, vr):
+        vr.access(1, 0x40000, R)
+        paddr = vr.layout.translate(1, 0x40000)
+        rblock, sub = vr.rcache.lookup(paddr)
+        assert sub.inclusion
+        assert sub.v_pointer is not None
+        check_all(vr)
+
+    def test_pointers_linked_both_ways(self, vr):
+        vr.access(1, 0x40000, R)
+        paddr = vr.layout.translate(1, 0x40000)
+        rblock, sub = vr.rcache.lookup(paddr)
+        child = vr.l1_caches[0].block_at(sub.v_pointer)
+        assert child.valid
+        assert tuple(child.r_pointer)[:2] == (rblock.set_index, rblock.way)
+
+    def test_instruction_fetch_counted_separately(self, vr):
+        vr.access(1, 0x10000, I)
+        assert vr.stats.counters["l1_misses_i"] == 1
+        assert vr.stats.l1_refs(RefKind.INSTR) == 1
+
+    def test_write_miss_sets_dirty_and_vdirty(self, vr):
+        result = vr.access(1, 0x40000, W)
+        assert result.version > 0
+        paddr = vr.layout.translate(1, 0x40000)
+        _, sub = vr.rcache.lookup(paddr)
+        assert sub.vdirty
+        child = vr.l1_caches[0].block_at(sub.v_pointer)
+        assert child.dirty
+
+    def test_write_then_read_returns_written_version(self, vr):
+        written = vr.access(1, 0x40000, W).version
+        assert vr.access(1, 0x40008, R).version == written
+
+    def test_write_hit_on_clean_bumps_version(self, vr):
+        vr.access(1, 0x40000, R)
+        first = vr.access(1, 0x40000, W).version
+        second = vr.access(1, 0x40000, W).version
+        assert second > first
+
+    def test_tlb_not_consulted_on_vr_l1_hit(self, vr):
+        vr.access(1, 0x40000, R)
+        misses_after_fill = vr.tlb.stats["misses"] + vr.tlb.stats["hits"]
+        vr.access(1, 0x40000, R)
+        assert vr.tlb.stats["misses"] + vr.tlb.stats["hits"] == misses_after_fill
+
+    def test_rr_translates_every_access(self, layout):
+        rr = build_hierarchy(layout, HierarchyKind.RR_INCLUSION)
+        rr.access(1, 0x40000, R)
+        rr.access(1, 0x40000, R)
+        assert rr.tlb.stats["hits"] + rr.tlb.stats["misses"] == 2
+
+    def test_h1_h2_ratios(self, vr):
+        vr.access(1, 0x40000, R)
+        vr.access(1, 0x40000, R)
+        assert vr.stats.l1_hit_ratio() == 0.5
+        assert vr.stats.l2_hit_ratio() == 0.0
+
+
+class TestWriteBackPath:
+    def test_dirty_eviction_goes_to_buffer_with_buffer_bit(self, vr):
+        vr.access(1, 0x40000, W)
+        paddr = vr.layout.translate(1, 0x40000)
+        conflict = 0x40000 + vr.config.l1.size
+        vr.access(1, conflict, R)  # evicts the dirty block
+        pblock = paddr >> 4
+        assert vr.write_buffer.find(pblock) is not None
+        _, sub = vr.rcache.lookup(paddr)
+        assert sub.buffer and not sub.inclusion and not sub.vdirty
+        check_all(vr)
+
+    def test_buffer_drains_into_l2(self, vr):
+        version = vr.access(1, 0x40000, W).version
+        paddr = vr.layout.translate(1, 0x40000)
+        conflict = 0x40000 + vr.config.l1.size
+        vr.access(1, conflict, R)
+        vr.drain_write_buffer()
+        _, sub = vr.rcache.lookup(paddr)
+        assert not sub.buffer and sub.rdirty and sub.version == version
+        check_all(vr)
+
+    def test_background_drain_happens_during_accesses(self, vr):
+        vr.access(1, 0x40000, W)
+        vr.access(1, 0x40000 + vr.config.l1.size, R)
+        assert len(vr.write_buffer) == 1
+        for i in range(2 * vr.drain_period):
+            vr.access(1, 0x40000 + vr.config.l1.size + 16 * (i + 1), R)
+        assert len(vr.write_buffer) == 0
+
+    def test_clean_eviction_no_buffer(self, vr):
+        vr.access(1, 0x40000, R)
+        vr.access(1, 0x40000 + vr.config.l1.size, R)
+        assert len(vr.write_buffer) == 0
+        paddr = vr.layout.translate(1, 0x40000)
+        _, sub = vr.rcache.lookup(paddr)
+        assert not sub.inclusion and not sub.buffer
+
+    def test_reread_after_eviction_restores_from_buffer(self, vr):
+        version = vr.access(1, 0x40000, W).version
+        conflict = 0x40000 + vr.config.l1.size
+        vr.access(1, conflict, R)
+        result = vr.access(1, 0x40000, R)
+        assert result.version == version
+        assert vr.stats.counters["writeback_cancels"] == 1
+        check_all(vr)
+
+    def test_writeback_interval_recorded(self, vr):
+        conflict = 0x40000 + vr.config.l1.size
+        vr.access(1, 0x40000, W)
+        vr.access(1, conflict, W)
+        vr.access(1, 0x40000, W)
+        vr.access(1, conflict, W)
+        assert vr.stats.writeback_intervals.observations >= 1
+
+    def test_forced_drain_counts_stall(self, layout):
+        from repro.coherence.bus import Bus, MainMemory
+        from repro.hierarchy.config import HierarchyConfig
+        from repro.hierarchy.twolevel import TwoLevelHierarchy
+
+        config = HierarchyConfig.sized("1K", "8K", write_buffer_capacity=1)
+        hier = TwoLevelHierarchy(
+            config, layout, Bus(MainMemory()), drain_period=50
+        )
+        l1_size = config.l1.size
+        # Two dirty evictions back to back: the second push finds the
+        # buffer still full (background drain is far away).
+        hier.access(1, 0x40000, W)
+        hier.access(1, 0x40010, W)
+        hier.access(1, 0x40000 + l1_size, W)       # evicts first dirty
+        hier.access(1, 0x40010 + l1_size, W)       # evicts second dirty
+        assert hier.stats.counters["writeback_stalls"] >= 1
+
+
+class TestContextSwitch:
+    def test_swap_demotes_valid_blocks(self, vr):
+        vr.access(1, 0x40000, R)
+        demoted = vr.context_switch()
+        assert demoted == 1
+        assert vr.access(1, 0x40000, R).outcome is not Outcome.L1_HIT
+
+    def test_swapped_block_not_written_back_at_switch(self, vr):
+        vr.access(1, 0x40000, W)
+        vr.context_switch()
+        assert len(vr.write_buffer) == 0  # lazy: nothing written yet
+
+    def test_swapped_restore_on_reaccess(self, vr):
+        version = vr.access(1, 0x40000, W).version
+        vr.context_switch()
+        result = vr.access(1, 0x40000, R)
+        assert result.version == version
+        assert vr.stats.counters["swapped_restores"] == 1
+        child = vr.l1_caches[0].block_at(
+            vr.rcache.lookup(vr.layout.translate(1, 0x40000))[1].v_pointer
+        )
+        assert child.valid and child.dirty
+        check_all(vr)
+
+    def test_swapped_dirty_eviction_flagged(self, vr):
+        vr.access(1, 0x40000, W)
+        vr.context_switch()
+        vr.access(1, 0x40000 + vr.config.l1.size, R)
+        assert vr.stats.counters["swapped_writebacks"] == 1
+
+    def test_rr_hierarchy_unaffected_by_switch(self, layout):
+        rr = build_hierarchy(layout, HierarchyKind.RR_INCLUSION)
+        rr.access(1, 0x40000, R)
+        rr.context_switch()
+        assert rr.access(1, 0x40000, R).outcome is Outcome.L1_HIT
+
+    def test_switch_counted(self, vr):
+        vr.context_switch()
+        vr.context_switch()
+        assert vr.stats.counters["context_switches"] == 2
+
+
+class TestSynonyms:
+    def test_sameset_synonym_retagged_in_place(self, synonym_layout):
+        hier = build_hierarchy(synonym_layout)  # 1K L1: page-offset indexed
+        version = hier.access(1, 0x200000, W).version
+        result = hier.access(1, 0x284000, R)  # same physical block
+        assert result.outcome is Outcome.SYNONYM
+        assert result.version == version
+        assert hier.stats.counters["synonym_sameset"] == 1
+        assert len(hier.write_buffer) == 0  # no write-back happened
+        check_all(hier)
+
+    def test_sameset_keeps_single_copy(self, synonym_layout):
+        hier = build_hierarchy(synonym_layout)
+        hier.access(1, 0x200000, R)
+        hier.access(1, 0x284000, R)
+        # The old virtual name must now miss at level 1.
+        assert hier.access(1, 0x200000, R).outcome is Outcome.SYNONYM
+        check_all(hier)
+
+    def test_move_synonym_across_sets(self, synonym_layout):
+        # 32K level 1: the index uses bit 14, where the alias bases
+        # differ, so the two virtual names land in different sets.
+        hier = build_hierarchy(synonym_layout, l1_size="32K", l2_size="64K")
+        a, b = 0x200000, 0x284000
+        assert hier.l1_caches[0].config.set_index(a) != hier.l1_caches[
+            0
+        ].config.set_index(b)
+        version = hier.access(1, a, W).version
+        result = hier.access(1, b, R)
+        assert result.outcome is Outcome.SYNONYM
+        assert result.version == version
+        assert hier.stats.counters["synonym_moves"] == 1
+        check_all(hier)
+
+    def test_move_invalidates_old_location(self, synonym_layout):
+        hier = build_hierarchy(synonym_layout, l1_size="32K", l2_size="64K")
+        hier.access(1, 0x200000, R)
+        hier.access(1, 0x284000, R)
+        assert hier.access(1, 0x200000, R).outcome is Outcome.SYNONYM
+        check_all(hier)
+
+    def test_synonym_write_marks_dirty(self, synonym_layout):
+        hier = build_hierarchy(synonym_layout)
+        hier.access(1, 0x200000, R)
+        version = hier.access(1, 0x284000, W).version
+        assert hier.access(1, 0x284000, R).version == version
+
+    def test_cross_process_synonym_after_switch(self, synonym_layout):
+        hier = build_hierarchy(synonym_layout)
+        version = hier.access(1, 0x100000, W).version
+        hier.context_switch()
+        result = hier.access(2, 0x180000, R)  # same physical block
+        assert result.version == version
+        check_all(hier)
+
+    def test_rr_never_reports_synonyms(self, synonym_layout):
+        rr = build_hierarchy(synonym_layout, HierarchyKind.RR_INCLUSION)
+        rr.access(1, 0x200000, R)
+        result = rr.access(1, 0x284000, R)
+        # Physically indexed level 1: the alias IS the same block.
+        assert result.outcome is Outcome.L1_HIT
+        assert rr.stats.counters["synonym_sameset"] == 0
+
+
+class TestInclusionReplacement:
+    def _skewed_layout(self):
+        """Three single-page segments whose virtual pages differ mod 4
+        while their physical frames are all even — so they share an
+        L2 set but use different L1 sets (see test bodies)."""
+        layout = MemoryLayout()
+        layout.add_private_segment(1, "a", 0x40000, 1)   # frame 0
+        layout.add_private_segment(1, "pad1", 0x80000, 3)
+        layout.add_private_segment(1, "b", 0x45000, 1)   # frame 4
+        layout.add_private_segment(1, "pad2", 0x90000, 1)
+        layout.add_private_segment(1, "c", 0x48000, 1)   # frame 6
+        return layout
+
+    def test_forced_eviction_invalidates_children(self):
+        layout = self._skewed_layout()
+        hier = build_hierarchy(
+            layout, l1_size="8K", l2_size="16K", l2_associativity=2
+        )
+        a, b, c = 0x40010, 0x45010, 0x48010
+        l2cfg = hier.config.l2
+        pa, pb, pc = (hier.layout.translate(1, v) for v in (a, b, c))
+        assert l2cfg.set_index(pa) == l2cfg.set_index(pb) == l2cfg.set_index(pc)
+        l1cfg = hier.config.l1
+        assert len({l1cfg.set_index(a), l1cfg.set_index(b), l1cfg.set_index(c)}) > 1
+
+        hier.access(1, a, R)
+        hier.access(1, b, R)
+        hier.access(1, c, R)  # both L2 ways encumbered: forced eviction
+        assert hier.stats.counters["l1_inclusion_invalidations"] >= 1
+        check_all(hier)
+
+    def test_forced_eviction_writes_back_dirty_child(self):
+        layout = self._skewed_layout()
+        hier = build_hierarchy(
+            layout, l1_size="8K", l2_size="16K", l2_associativity=2
+        )
+        a, b, c = 0x40010, 0x45010, 0x48010
+        version = hier.access(1, a, W).version
+        hier.access(1, b, R)
+        hier.access(1, c, R)
+        pa = hier.layout.translate(1, a)
+        if hier.rcache.lookup(pa) is None:  # a was the victim
+            assert hier.bus.memory.peek(pa >> 4) == version
+        check_all(hier)
+
+    def test_unencumbered_victim_preferred(self):
+        layout = self._skewed_layout()
+        hier = build_hierarchy(
+            layout, l1_size="8K", l2_size="16K", l2_associativity=2
+        )
+        a, b, c = 0x40010, 0x45010, 0x48010
+        hier.access(1, a, R)
+        hier.access(1, b, R)
+        # Evict a's child from L1: 0x80010 shares a's L1 set (both
+        # have index bits 0x001) but lives in a different L2 set.
+        evictor = 0x80010
+        assert hier.config.l1.set_index(evictor) == hier.config.l1.set_index(a)
+        hier.access(1, evictor, R)
+        pa = hier.layout.translate(1, a)
+        found = hier.rcache.lookup(pa)
+        assert found is not None and found[1].unencumbered
+        before = hier.stats.counters["l1_inclusion_invalidations"]
+        hier.access(1, c, R)
+        # The unencumbered block was chosen: no forced invalidation.
+        assert hier.stats.counters["l1_inclusion_invalidations"] == before
+
+    def test_no_inclusion_orphans_allowed(self, layout):
+        hier = build_hierarchy(
+            layout, HierarchyKind.RR_NO_INCLUSION, l1_size="1K", l2_size="1K"
+        )
+        # Fill several L2 sets; evictions never touch L1.
+        for i in range(128):
+            hier.access(1, 0x40000 + i * 16, R)
+        assert hier.stats.counters["l1_inclusion_invalidations"] == 0
+
+
+class TestSplitL1:
+    def test_instr_and_data_separate(self, layout):
+        hier = build_hierarchy(layout, split_l1=True)
+        assert hier.l1_for(RefKind.INSTR) is not hier.l1_for(RefKind.READ)
+        assert hier.l1_for(RefKind.READ) is hier.l1_for(RefKind.WRITE)
+
+    def test_halves_have_half_size(self, layout):
+        hier = build_hierarchy(layout, split_l1=True)
+        assert hier.l1_caches[0].config.size == hier.config.l1.size // 2
+
+    def test_no_cross_interference(self, layout):
+        hier = build_hierarchy(layout, split_l1=True)
+        hier.access(1, 0x10000, I)
+        # A data access that shares the instruction block's level-1
+        # index (but not its level-2 set) cannot evict it: different
+        # level-1 cache.
+        data = 0x41000
+        i_cache = hier.l1_for(I)
+        d_cache = hier.l1_for(R)
+        assert d_cache.config.set_index(data) == i_cache.config.set_index(0x10000)
+        hier.access(1, data, R)
+        assert hier.access(1, 0x10000, I).outcome is Outcome.L1_HIT
+        check_all(hier)
+
+    def test_unified_has_single_cache(self, vr):
+        assert len(vr.l1_caches) == 1
+
+
+class TestProtocolSafety:
+    def test_snoop_invalidate_on_dirty_raises(self, layout):
+        from repro.coherence.messages import BusOp, BusTransaction
+
+        hier = build_hierarchy(layout)
+        hier.access(1, 0x40000, W)
+        pblock = hier.layout.translate(1, 0x40000) >> 4
+        with pytest.raises(ProtocolError):
+            hier.snoop(BusTransaction(BusOp.INVALIDATE, 99, pblock))
+
+    def test_snoop_miss_is_shielded(self, layout):
+        from repro.coherence.messages import BusOp, BusTransaction
+
+        hier = build_hierarchy(layout)
+        reply = hier.snoop(BusTransaction(BusOp.READ_MISS, 99, 0x9999))
+        assert not reply.has_copy
+        assert hier.stats.coherence_to_l1() == 0

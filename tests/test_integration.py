@@ -1,0 +1,111 @@
+"""End-to-end shape tests: the paper's qualitative conclusions hold on
+moderately sized surrogate traces.
+
+These are the cheapest runs that still show each effect; the full
+benchmark harness regenerates the actual tables at larger scale.
+"""
+
+import pytest
+
+from repro.experiments import clear_caches, simulate
+from repro.hierarchy.config import HierarchyKind
+from repro.trace.record import RefKind
+
+SCALE = 0.02
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _fresh():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+class TestPaperConclusions:
+    def test_vr_matches_rr_when_switches_rare(self):
+        """Paper §4: for pops/thor the two organisations are nearly
+        indistinguishable at level 1."""
+        for trace in ("pops", "thor"):
+            vr = simulate(trace, SCALE, "4K", "64K", HierarchyKind.VR)
+            rr = simulate(trace, SCALE, "4K", "64K", HierarchyKind.RR_INCLUSION)
+            assert vr.h1 == pytest.approx(rr.h1, abs=0.01)
+
+    def test_rr_beats_vr_on_frequent_switches(self):
+        """Paper §4: abaqus switches often; flushing the V-cache costs."""
+        vr = simulate("abaqus", SCALE, "16K", "256K", HierarchyKind.VR)
+        rr = simulate("abaqus", SCALE, "16K", "256K", HierarchyKind.RR_INCLUSION)
+        assert rr.h1 > vr.h1
+
+    def test_vr_gap_grows_with_cache_size(self):
+        """Paper §4: 'a larger V-cache seems to imply a larger relative
+        degradation'."""
+        gaps = []
+        for l1, l2 in (("4K", "64K"), ("16K", "256K")):
+            vr = simulate("abaqus", SCALE, l1, l2, HierarchyKind.VR)
+            rr = simulate("abaqus", SCALE, l1, l2, HierarchyKind.RR_INCLUSION)
+            gaps.append(rr.h1 - vr.h1)
+        assert gaps[-1] > gaps[0]
+
+    def test_shielding_cuts_coherence_messages(self):
+        """Paper Tables 11-13: V-R percolates several times fewer
+        messages to level 1 than R-R without inclusion."""
+        vr = simulate("pops", SCALE, "4K", "64K", HierarchyKind.VR)
+        no_incl = simulate(
+            "pops", SCALE, "4K", "64K", HierarchyKind.RR_NO_INCLUSION
+        )
+        vr_msgs = sum(s.coherence_to_l1() for s in vr.per_cpu)
+        no_incl_msgs = sum(s.coherence_to_l1() for s in no_incl.per_cpu)
+        assert no_incl_msgs > 2 * vr_msgs
+
+    def test_rr_inclusion_shields_like_vr(self):
+        """Paper §4: inclusion gives R-R approximately the same saving."""
+        vr = simulate("pops", SCALE, "4K", "64K", HierarchyKind.VR)
+        rr = simulate("pops", SCALE, "4K", "64K", HierarchyKind.RR_INCLUSION)
+        vr_msgs = sum(s.coherence_to_l1() for s in vr.per_cpu)
+        rr_msgs = sum(s.coherence_to_l1() for s in rr.per_cpu)
+        no_incl = simulate(
+            "pops", SCALE, "4K", "64K", HierarchyKind.RR_NO_INCLUSION
+        )
+        no_incl_msgs = sum(s.coherence_to_l1() for s in no_incl.per_cpu)
+        assert abs(vr_msgs - rr_msgs) < no_incl_msgs - max(vr_msgs, rr_msgs)
+
+    def test_split_close_to_unified(self):
+        """Paper Tables 8-10: split I/D hit ratios are very close to a
+        unified cache's."""
+        unified = simulate("pops", SCALE, "4K", "64K", HierarchyKind.VR)
+        split = simulate(
+            "pops", SCALE, "4K", "64K", HierarchyKind.VR, split_l1=True
+        )
+        assert split.h1 == pytest.approx(unified.h1, abs=0.03)
+
+    def test_synonyms_resolved_not_duplicated(self):
+        """V-R runs on all traces resolve synonyms through the
+        second level (counters fire) without breaking invariants."""
+        from repro.hierarchy.checker import check_all
+
+        result = simulate("abaqus", SCALE, "4K", "64K", HierarchyKind.VR)
+        total = result.aggregate()
+        restores = (
+            total.counters["synonym_sameset"]
+            + total.counters["synonym_moves"]
+            + total.counters["swapped_restores"]
+        )
+        assert restores > 0
+
+    def test_swapped_writebacks_spread(self):
+        """Paper Table 3: with the swapped-valid bit, context-switch
+        write-backs spread over time instead of bursting."""
+        result = simulate("abaqus", SCALE, "16K", "256K", HierarchyKind.VR)
+        total = result.aggregate()
+        assert total.counters["swapped_writebacks"] > 0
+
+    def test_hit_ratios_in_paper_band(self):
+        """Measured h1 lands near Table 6 (within a few points)."""
+        expectations = {
+            ("thor", "4K", "64K"): 0.925,
+            ("pops", "4K", "64K"): 0.928,
+            ("abaqus", "4K", "64K"): 0.852,
+        }
+        for (trace, l1, l2), paper in expectations.items():
+            measured = simulate(trace, SCALE, l1, l2, HierarchyKind.VR).h1
+            assert measured == pytest.approx(paper, abs=0.05), trace

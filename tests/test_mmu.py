@@ -1,0 +1,226 @@
+"""Unit tests for the virtual-memory substrate (repro.mmu)."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError, TranslationError
+from repro.mmu.address_space import MemoryLayout
+from repro.mmu.page_table import FrameAllocator, PageTable, ReverseMap
+from repro.mmu.tlb import TLB
+
+
+class TestFrameAllocator:
+    def test_sequential_allocation(self):
+        alloc = FrameAllocator()
+        assert alloc.allocate() == 0
+        assert alloc.allocate(3) == 1
+        assert alloc.allocate() == 4
+
+    def test_frames_allocated(self):
+        alloc = FrameAllocator()
+        alloc.allocate(5)
+        assert alloc.frames_allocated == 5
+
+    def test_rejects_zero_frames(self):
+        with pytest.raises(ConfigurationError):
+            FrameAllocator().allocate(0)
+
+    def test_rejects_non_power_of_two_page(self):
+        with pytest.raises(ConfigurationError):
+            FrameAllocator(page_size=3000)
+
+
+class TestPageTable:
+    def test_translate_page(self):
+        table = PageTable(pid=1)
+        table.map(vpage=10, frame=99)
+        assert table.translate_page(10) == 99
+
+    def test_translate_full_address(self):
+        table = PageTable(pid=1, page_size=4096)
+        table.map(vpage=2, frame=7)
+        assert table.translate(2 * 4096 + 123) == 7 * 4096 + 123
+
+    def test_unmapped_page_raises(self):
+        with pytest.raises(TranslationError, match="pid 1"):
+            PageTable(pid=1).translate_page(5)
+
+    def test_double_map_rejected(self):
+        table = PageTable(pid=1)
+        table.map(3, 0)
+        with pytest.raises(ConfigurationError, match="already mapped"):
+            table.map(3, 1)
+
+    def test_mapped_pages_sorted(self):
+        table = PageTable(pid=1)
+        table.map(9, 0)
+        table.map(2, 1)
+        assert table.mapped_pages() == [2, 9]
+
+    def test_len(self):
+        table = PageTable(pid=1)
+        table.map(1, 0)
+        assert len(table) == 1
+
+
+class TestReverseMap:
+    def test_aliases_recorded(self):
+        rmap = ReverseMap()
+        rmap.note(frame=5, pid=1, vpage=10)
+        rmap.note(frame=5, pid=2, vpage=20)
+        assert rmap.aliases(5) == [(1, 10), (2, 20)]
+
+    def test_unknown_frame_empty(self):
+        assert ReverseMap().aliases(99) == []
+
+    def test_synonym_frames(self):
+        rmap = ReverseMap()
+        rmap.note(1, 1, 10)
+        rmap.note(2, 1, 11)
+        rmap.note(2, 2, 30)
+        assert rmap.synonym_frames() == [2]
+
+
+class TestMemoryLayout:
+    def test_private_segment_translates(self):
+        layout = MemoryLayout()
+        seg = layout.add_private_segment(1, "d", 0x4000, 2)
+        paddr = layout.translate(1, seg.base_vaddr + 20)
+        assert paddr % 4096 == 20
+
+    def test_private_segments_get_distinct_frames(self):
+        layout = MemoryLayout()
+        a = layout.add_private_segment(1, "a", 0x4000, 1)
+        b = layout.add_private_segment(2, "b", 0x4000, 1)
+        assert layout.translate(1, a.base_vaddr) != layout.translate(
+            2, b.base_vaddr
+        )
+
+    def test_shared_segment_same_physical(self):
+        layout = MemoryLayout()
+        layout.add_shared_segment("shm", [(1, 0x4000), (2, 0x8000)], 2)
+        assert layout.translate(1, 0x4000) == layout.translate(2, 0x8000)
+        assert layout.translate(1, 0x5000) == layout.translate(2, 0x9000)
+
+    def test_intra_process_alias(self):
+        layout = MemoryLayout()
+        layout.add_shared_segment("alias", [(1, 0x4000), (1, 0x10000)], 1)
+        assert layout.translate(1, 0x4008) == layout.translate(1, 0x10008)
+
+    def test_unaligned_base_rejected(self):
+        with pytest.raises(ConfigurationError, match="aligned"):
+            MemoryLayout().add_private_segment(1, "x", 0x4001, 1)
+
+    def test_empty_shared_mapping_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryLayout().add_shared_segment("shm", [], 1)
+
+    def test_unknown_process_raises(self):
+        with pytest.raises(TranslationError, match="unknown process"):
+            MemoryLayout().translate(42, 0)
+
+    def test_segment_queries(self):
+        layout = MemoryLayout()
+        layout.add_private_segment(1, "a", 0x4000, 1)
+        layout.add_private_segment(2, "b", 0x4000, 1)
+        assert len(layout.segments()) == 2
+        assert len(layout.segments(pid=1)) == 1
+        assert layout.pids() == [1, 2]
+
+    def test_segment_geometry(self):
+        layout = MemoryLayout()
+        seg = layout.add_private_segment(1, "a", 0x4000, 3)
+        assert seg.size == 3 * 4096
+        assert seg.end_vaddr == 0x4000 + 3 * 4096
+        assert seg.contains(0x4000)
+        assert seg.contains(seg.end_vaddr - 1)
+        assert not seg.contains(seg.end_vaddr)
+
+    def test_physical_size(self):
+        layout = MemoryLayout()
+        layout.add_private_segment(1, "a", 0x4000, 3)
+        assert layout.physical_size == 3 * 4096
+
+    def test_reverse_map_tracks_shared(self):
+        layout = MemoryLayout()
+        layout.add_shared_segment("shm", [(1, 0x4000), (2, 0x8000)], 1)
+        assert len(layout.reverse_map.synonym_frames()) == 1
+
+
+class TestTLB:
+    def _layout(self):
+        layout = MemoryLayout()
+        layout.add_private_segment(1, "d", 0x4000, 8)
+        layout.add_private_segment(2, "d", 0x4000, 8)
+        return layout
+
+    def test_first_access_misses_then_hits(self):
+        layout = self._layout()
+        tlb = TLB(layout, n_entries=8, associativity=2)
+        tlb.translate(1, 0x4000)
+        tlb.translate(1, 0x4010)
+        assert tlb.stats["misses"] == 1
+        assert tlb.stats["hits"] == 1
+
+    def test_translation_matches_page_table(self):
+        layout = self._layout()
+        tlb = TLB(layout)
+        assert tlb.translate(1, 0x4123) == layout.translate(1, 0x4123)
+
+    def test_distinct_pids_distinct_entries(self):
+        layout = self._layout()
+        tlb = TLB(layout)
+        tlb.translate(1, 0x4000)
+        tlb.translate(2, 0x4000)
+        assert tlb.stats["misses"] == 2
+
+    def test_eviction_on_full_set(self):
+        layout = self._layout()
+        tlb = TLB(layout, n_entries=2, associativity=1)
+        # Pages 0 and 2 of the segment map to the same single-entry set.
+        tlb.translate(1, 0x4000)
+        tlb.translate(1, 0x4000 + 2 * 4096)
+        tlb.translate(1, 0x4000)
+        assert tlb.stats["evictions"] >= 1
+        assert tlb.stats["misses"] == 3
+
+    def test_lru_within_set(self):
+        layout = self._layout()
+        tlb = TLB(layout, n_entries=4, associativity=2)
+        base = 0x4000
+        tlb.translate(1, base)                  # page 0 (set 0)
+        tlb.translate(1, base + 2 * 4096)       # page 2 (set 0)
+        tlb.translate(1, base)                  # touch page 0
+        tlb.translate(1, base + 4 * 4096)       # page 4 evicts page 2
+        tlb.translate(1, base)
+        assert tlb.stats["hits"] == 2
+
+    def test_flush_clears_everything(self):
+        layout = self._layout()
+        tlb = TLB(layout)
+        tlb.translate(1, 0x4000)
+        tlb.flush()
+        assert tlb.resident() == []
+        tlb.translate(1, 0x4000)
+        assert tlb.stats["misses"] == 2
+
+    def test_selective_flush(self):
+        layout = self._layout()
+        tlb = TLB(layout)
+        tlb.translate(1, 0x4000)
+        tlb.translate(2, 0x4000)
+        tlb.flush_pid(1)
+        resident = tlb.resident()
+        assert all(pid == 2 for pid, _ in resident)
+
+    def test_geometry_validation(self):
+        layout = self._layout()
+        with pytest.raises(ConfigurationError):
+            TLB(layout, n_entries=10)
+        with pytest.raises(ConfigurationError):
+            TLB(layout, n_entries=8, associativity=3)
+
+    def test_miss_on_unmapped_propagates(self):
+        layout = self._layout()
+        tlb = TLB(layout)
+        with pytest.raises(TranslationError):
+            tlb.translate(1, 0xDEAD0000)

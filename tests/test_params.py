@@ -1,0 +1,116 @@
+"""Unit tests for repro.common.params."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.params import (
+    format_size,
+    is_power_of_two,
+    log2_exact,
+    parse_size,
+)
+
+
+class TestParseSize:
+    def test_plain_integer(self):
+        assert parse_size(64) == 64
+
+    def test_kilobyte_suffix(self):
+        assert parse_size("16K") == 16 * 1024
+
+    def test_lowercase_suffix(self):
+        assert parse_size("16k") == 16 * 1024
+
+    def test_kb_and_kib_spellings(self):
+        assert parse_size("2KB") == parse_size("2KiB") == 2048
+
+    def test_megabyte(self):
+        assert parse_size("1M") == 1024 * 1024
+
+    def test_gigabyte(self):
+        assert parse_size("1G") == 1024 ** 3
+
+    def test_fractional_half_k(self):
+        assert parse_size(".5K") == 512
+
+    def test_fractional_with_leading_zero(self):
+        assert parse_size("0.25K") == 256
+
+    def test_bytes_suffix(self):
+        assert parse_size("128B") == 128
+
+    def test_whitespace_tolerated(self):
+        assert parse_size("  4K ") == 4096
+
+    def test_float_whole_value(self):
+        assert parse_size(512.0) == 512
+
+    def test_zero_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_size(0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_size(-16)
+
+    def test_fractional_bytes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_size(".3K")  # 307.2 bytes
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_size("sixteen")
+
+    def test_unknown_suffix_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_size("16Q")
+
+    def test_bool_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_size(True)
+
+    def test_non_integral_float_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_size(12.5)
+
+
+class TestPowersOfTwo:
+    @pytest.mark.parametrize("value", [1, 2, 4, 1024, 1 << 30])
+    def test_powers_accepted(self, value):
+        assert is_power_of_two(value)
+
+    @pytest.mark.parametrize("value", [0, -2, 3, 12, 1000])
+    def test_non_powers_rejected(self, value):
+        assert not is_power_of_two(value)
+
+    def test_log2_exact(self):
+        assert log2_exact(4096) == 12
+
+    def test_log2_of_one(self):
+        assert log2_exact(1) == 0
+
+    def test_log2_rejects_non_power(self):
+        with pytest.raises(ConfigurationError, match="power of two"):
+            log2_exact(12)
+
+    def test_log2_error_names_quantity(self):
+        with pytest.raises(ConfigurationError, match="page size"):
+            log2_exact(12, "page size")
+
+
+class TestFormatSize:
+    def test_whole_kilobytes(self):
+        assert format_size(16384) == "16K"
+
+    def test_half_k_paper_spelling(self):
+        assert format_size(512) == ".5K"
+
+    def test_megabytes(self):
+        assert format_size(2 * 1024 * 1024) == "2M"
+
+    def test_small_byte_counts(self):
+        assert format_size(48) == "48B"
+
+    def test_round_trip_with_parse(self):
+        for size in (512, 1024, 4096, 65536, 262144):
+            assert parse_size(format_size(size)) == size

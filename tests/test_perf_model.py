@@ -1,0 +1,131 @@
+"""Tests for the closed-form timing model (Figures 4-6 machinery)."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.perf.model import (
+    HitRatios,
+    TimingParams,
+    access_time,
+    crossover_slowdown,
+    relative_advantage,
+    slowdown_sweep,
+)
+from repro.perf.tables import render, render_ratio
+
+
+class TestAccessTime:
+    def test_paper_equation(self):
+        # T = h1*t1 + (1-h1)*h2*t2 + (1-h1)*(1-h2)*tm
+        t = access_time(HitRatios(0.9, 0.5), TimingParams(1, 4, 12))
+        assert t == pytest.approx(0.9 + 0.1 * 0.5 * 4 + 0.1 * 0.5 * 12)
+
+    def test_perfect_l1(self):
+        assert access_time(HitRatios(1.0, 0.0), TimingParams(1, 4, 12)) == 1.0
+
+    def test_all_misses(self):
+        t = access_time(HitRatios(0.0, 0.0), TimingParams(1, 4, 12))
+        assert t == 12.0
+
+    def test_slowdown_scales_l1_term_only(self):
+        ratios = HitRatios(0.9, 0.5)
+        timing = TimingParams(1, 4, 12)
+        base = access_time(ratios, timing)
+        slowed = access_time(ratios, timing, l1_slowdown=0.10)
+        assert slowed - base == pytest.approx(0.9 * 0.1)
+
+    def test_negative_slowdown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            access_time(HitRatios(0.9, 0.5), TimingParams(), -0.1)
+
+    def test_timing_ordering_validated(self):
+        with pytest.raises(ConfigurationError):
+            TimingParams(t1=4, t2=1, tm=12)
+
+    def test_ratio_bounds_validated(self):
+        with pytest.raises(ConfigurationError):
+            HitRatios(1.5, 0.5)
+        with pytest.raises(ConfigurationError):
+            HitRatios(0.9, -0.1)
+
+
+class TestSweep:
+    def test_vr_curve_is_flat(self):
+        series = slowdown_sweep(HitRatios(0.9, 0.5), HitRatios(0.9, 0.5))
+        assert len(set(series.vr_times)) == 1
+
+    def test_rr_curve_rises(self):
+        series = slowdown_sweep(HitRatios(0.9, 0.5), HitRatios(0.9, 0.5))
+        assert list(series.rr_times) == sorted(series.rr_times)
+        assert series.rr_times[-1] > series.rr_times[0]
+
+    def test_sweep_endpoints(self):
+        series = slowdown_sweep(
+            HitRatios(0.9, 0.5), HitRatios(0.9, 0.5), max_slowdown=0.08, steps=5
+        )
+        assert series.slowdowns[0] == 0.0
+        assert series.slowdowns[-1] == pytest.approx(0.08)
+        assert len(series.slowdowns) == 5
+
+    def test_single_step_rejected(self):
+        with pytest.raises(ConfigurationError):
+            slowdown_sweep(HitRatios(0.9, 0.5), HitRatios(0.9, 0.5), steps=1)
+
+
+class TestCrossover:
+    def test_equal_hierarchies_cross_at_zero(self):
+        ratios = HitRatios(0.9, 0.5)
+        assert crossover_slowdown(ratios, ratios) == pytest.approx(0.0)
+
+    def test_better_rr_needs_positive_slowdown(self):
+        # R-R with a higher h1 (the abaqus situation): V-R only wins
+        # once translation slows the physical level 1 down enough.
+        vr = HitRatios(0.85, 0.55)
+        rr = HitRatios(0.87, 0.55)
+        crossover = crossover_slowdown(vr, rr)
+        assert crossover > 0
+        # At the crossover the two access times match.
+        t_vr = access_time(vr, TimingParams())
+        t_rr = access_time(rr, TimingParams(), crossover)
+        assert t_vr == pytest.approx(t_rr)
+
+    def test_worse_rr_crosses_negative(self):
+        vr = HitRatios(0.9, 0.5)
+        rr = HitRatios(0.88, 0.5)
+        assert crossover_slowdown(vr, rr) < 0
+
+    def test_zero_h1_rejected(self):
+        with pytest.raises(ConfigurationError):
+            crossover_slowdown(HitRatios(0.5, 0.5), HitRatios(0.0, 0.5))
+
+
+class TestRelativeAdvantage:
+    def test_positive_when_vr_faster(self):
+        vr = HitRatios(0.95, 0.5)
+        rr = HitRatios(0.90, 0.5)
+        assert relative_advantage(vr, rr) > 0
+
+    def test_grows_with_slowdown(self):
+        ratios = HitRatios(0.9, 0.5)
+        a = relative_advantage(ratios, ratios, l1_slowdown=0.02)
+        b = relative_advantage(ratios, ratios, l1_slowdown=0.08)
+        assert b > a > 0
+
+
+class TestTables:
+    def test_render_aligns_columns(self):
+        text = render(["name", "x"], [["a", 1], ["long-name", 2.5]])
+        lines = [line for line in text.splitlines() if "|" in line]
+        assert len(lines) == 3  # header + two rows
+        assert len({line.index("|") for line in lines}) == 1
+
+    def test_render_title(self):
+        assert render(["a"], [[1]], title="T").startswith("T\n")
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render(["a", "b"], [[1]])
+
+    def test_render_ratio_paper_spelling(self):
+        assert render_ratio(0.925) == ".925"
+        assert render_ratio(1.0) == "1.000"

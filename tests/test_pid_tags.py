@@ -1,0 +1,120 @@
+"""Tests for the pid-tagged V-cache alternative (section 2 ablation)."""
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.common.errors import ConfigurationError
+from repro.hierarchy.checker import check_all
+from repro.hierarchy.config import (
+    HierarchyConfig,
+    HierarchyKind,
+    min_l2_associativity_for_strict_inclusion,
+)
+from repro.hierarchy.twolevel import Outcome
+from repro.system.multiprocessor import Multiprocessor
+from repro.trace.record import RefKind
+from repro.trace.synthetic import SyntheticWorkload
+from tests.conftest import build_hierarchy, tiny_spec
+
+R, W = RefKind.READ, RefKind.WRITE
+
+
+@pytest.fixture
+def two_process_layout():
+    from repro.mmu.address_space import MemoryLayout
+
+    layout = MemoryLayout()
+    for pid in (1, 2):
+        layout.add_private_segment(pid, "data", 0x40000, 8)
+    return layout
+
+
+class TestPidTags:
+    def test_survives_context_switch(self, two_process_layout):
+        hier = build_hierarchy(two_process_layout, l1_pid_tags=True)
+        hier.access(1, 0x40000, R)
+        hier.context_switch(2)
+        hier.access(2, 0x40010, R)  # different level-1 set
+        hier.context_switch(1)
+        # Process 1's block is still valid: no flush happened.
+        assert hier.access(1, 0x40000, R).outcome is Outcome.L1_HIT
+
+    def test_same_vaddr_different_pid_is_a_miss(self, two_process_layout):
+        hier = build_hierarchy(two_process_layout, l1_pid_tags=True)
+        hier.access(1, 0x40000, W)
+        result = hier.access(2, 0x40000, R)
+        # Same virtual address, different process: distinct physical
+        # block, must not hit process 1's entry.
+        assert result.outcome is not Outcome.L1_HIT
+        assert result.version == 0
+        check_all(hier)
+
+    def test_dirty_data_kept_across_switches(self, two_process_layout):
+        hier = build_hierarchy(two_process_layout, l1_pid_tags=True)
+        version = hier.access(1, 0x40000, W).version
+        hier.context_switch(2)
+        hier.context_switch(1)
+        result = hier.access(1, 0x40000, R)
+        assert result.outcome is Outcome.L1_HIT
+        assert result.version == version
+
+    def test_no_swapped_writebacks(self, two_process_layout):
+        hier = build_hierarchy(two_process_layout, l1_pid_tags=True)
+        hier.access(1, 0x40000, W)
+        hier.context_switch(2)
+        hier.access(2, 0x40000 + hier.config.l1.size, R)  # same set
+        assert hier.stats.counters["swapped_writebacks"] == 0
+
+    def test_rejected_for_physical_l1(self):
+        with pytest.raises(ConfigurationError, match="pid tags"):
+            HierarchyConfig.sized(
+                "1K", "8K", kind=HierarchyKind.RR_INCLUSION, l1_pid_tags=True
+            )
+
+    def test_value_oracle_with_pid_tags(self):
+        workload = SyntheticWorkload(tiny_spec(total_refs=6000))
+        config = HierarchyConfig.sized("1K", "8K", l1_pid_tags=True)
+        machine = Multiprocessor(workload.layout, 2, config)
+        machine.run(workload, check_values=True)
+        for hier in machine.hierarchies:
+            check_all(hier)
+
+    def test_pid_tag_h1_not_worse_than_flush(self):
+        spec = tiny_spec(total_refs=8000, context_switches=40)
+        flush = Multiprocessor(
+            SyntheticWorkload(spec).layout, 2, HierarchyConfig.sized("1K", "8K")
+        ).run(SyntheticWorkload(spec))
+        tagged = Multiprocessor(
+            SyntheticWorkload(spec).layout,
+            2,
+            HierarchyConfig.sized("1K", "8K", l1_pid_tags=True),
+        ).run(SyntheticWorkload(spec))
+        assert tagged.h1 >= flush.h1 - 0.005
+
+
+class TestStrictInclusionBound:
+    def test_paper_example(self):
+        # 16K level 1, 4K pages, B2 = 4*B1: the paper says 16-way.
+        bound = min_l2_associativity_for_strict_inclusion(
+            CacheConfig.create("16K", 16),
+            CacheConfig.create("256K", 64),
+        )
+        assert bound == 16
+
+    def test_equal_blocks(self):
+        bound = min_l2_associativity_for_strict_inclusion(
+            CacheConfig.create("16K", 16), CacheConfig.create("256K", 16)
+        )
+        assert bound == 4
+
+    def test_smaller_l2_blocks_rejected(self):
+        with pytest.raises(ConfigurationError):
+            min_l2_associativity_for_strict_inclusion(
+                CacheConfig.create("16K", 32), CacheConfig.create("256K", 16)
+            )
+
+    def test_sub_page_l1_rejected(self):
+        with pytest.raises(ConfigurationError, match="page offset"):
+            min_l2_associativity_for_strict_inclusion(
+                CacheConfig.create("1K", 16), CacheConfig.create("256K", 16)
+            )

@@ -1,0 +1,250 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+The central property: for ANY reference stream over ANY geometry, the
+machine stays sequentially consistent (every read observes the most
+recent write to its physical block) and the structural invariants —
+inclusion, pointer linkage, single-copy synonyms, single dirty owner —
+hold at every quiescent point.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.config import CacheConfig
+from repro.cache.tagstore import TagStore
+from repro.coherence.bus import Bus, MainMemory
+from repro.common.params import format_size, parse_size
+from repro.common.stats import IntervalHistogram
+from repro.coherence.protocol import WritePolicy
+from repro.hierarchy.checker import check_all, check_coherence
+from repro.hierarchy.config import HierarchyConfig, HierarchyKind, Protocol
+from repro.hierarchy.twolevel import TwoLevelHierarchy
+from repro.mmu.address_space import MemoryLayout
+from repro.trace.record import RefKind
+
+# ---------------------------------------------------------------- machine ops
+
+
+def _build_machine(kind: HierarchyKind, l1_size: int, l2_size: int,
+                   l1_assoc: int, l2_assoc: int, n_cpus: int,
+                   write_policy=None, protocol=None):
+    layout = MemoryLayout()
+    mappings = [(pid, 0x100000 + pid * 0x11000) for pid in range(1, n_cpus + 1)]
+    layout.add_shared_segment("shm", mappings, 2)
+    for pid in range(1, n_cpus + 1):
+        layout.add_private_segment(pid, "data", 0x40000, 4)
+        layout.add_shared_segment(
+            f"alias{pid}", [(pid, 0x200000), (pid, 0x286000)], 2
+        )
+    bus = Bus(MainMemory())
+    counter = itertools.count(1).__next__
+    extra = {}
+    if write_policy is not None:
+        extra["l1_write_policy"] = write_policy
+        extra["write_buffer_capacity"] = 4
+    if protocol is not None:
+        extra["protocol"] = protocol
+    config = HierarchyConfig.sized(
+        l1_size,
+        l2_size,
+        kind=kind,
+        l1_associativity=l1_assoc,
+        l2_associativity=l2_assoc,
+        **extra,
+    )
+    hierarchies = [
+        TwoLevelHierarchy(config, layout, bus, next_version=counter)
+        for _ in range(n_cpus)
+    ]
+    return layout, hierarchies
+
+
+_OP = st.tuples(
+    st.integers(0, 1),                        # cpu
+    st.sampled_from(["private", "shared", "alias_a", "alias_b", "switch"]),
+    st.integers(0, 511),                      # block offset selector
+    st.booleans(),                            # write?
+)
+
+
+def _vaddr(region: str, pid: int, selector: int) -> int:
+    if region == "private":
+        return 0x40000 + (selector % 1024) * 16
+    if region == "shared":
+        return 0x100000 + pid * 0x11000 + (selector % 512) * 16
+    if region == "alias_a":
+        return 0x200000 + (selector % 512) * 16
+    return 0x286000 + (selector % 512) * 16
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    ops=st.lists(_OP, min_size=1, max_size=120),
+    kind=st.sampled_from(list(HierarchyKind)),
+    l1_size=st.sampled_from([512, 1024]),
+    l2_pow=st.sampled_from([4096, 8192]),
+    l1_assoc=st.sampled_from([1, 2]),
+    l2_assoc=st.sampled_from([1, 2]),
+)
+def test_any_stream_is_sequentially_consistent(
+    ops, kind, l1_size, l2_pow, l1_assoc, l2_assoc
+):
+    layout, hierarchies = _build_machine(
+        kind, l1_size, l2_pow, l1_assoc, l2_assoc, n_cpus=2
+    )
+    oracle: dict[int, int] = {}
+    for cpu, region, selector, is_write in ops:
+        hier = hierarchies[cpu]
+        pid = cpu + 1
+        if region == "switch":
+            hier.context_switch()
+            continue
+        vaddr = _vaddr(region, pid, selector)
+        pblock = layout.translate(pid, vaddr) >> 4
+        kind_ref = RefKind.WRITE if is_write else RefKind.READ
+        result = hier.access(pid, vaddr, kind_ref)
+        if is_write:
+            oracle[pblock] = result.version
+        else:
+            assert result.version == oracle.get(pblock, 0), (
+                f"stale read of block {pblock:#x} under {kind}"
+            )
+    for hier in hierarchies:
+        check_all(hier)
+    check_coherence(hierarchies)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    ops=st.lists(_OP, min_size=1, max_size=100),
+    kind=st.sampled_from(
+        [HierarchyKind.VR, HierarchyKind.RR_NO_INCLUSION]
+    ),
+    write_policy=st.sampled_from(list(WritePolicy)),
+    protocol=st.sampled_from(list(Protocol)),
+)
+def test_any_stream_consistent_across_policies(
+    ops, kind, write_policy, protocol
+):
+    """The oracle also holds for write-through level 1 and the
+    write-update protocol, in every combination."""
+    layout, hierarchies = _build_machine(
+        kind, 1024, 8192, 1, 1, n_cpus=2,
+        write_policy=write_policy, protocol=protocol,
+    )
+    oracle: dict[int, int] = {}
+    for cpu, region, selector, is_write in ops:
+        hier = hierarchies[cpu]
+        pid = cpu + 1
+        if region == "switch":
+            hier.context_switch()
+            continue
+        vaddr = _vaddr(region, pid, selector)
+        pblock = layout.translate(pid, vaddr) >> 4
+        result = hier.access(
+            pid, vaddr, RefKind.WRITE if is_write else RefKind.READ
+        )
+        if is_write:
+            oracle[pblock] = result.version
+        else:
+            assert result.version == oracle.get(pblock, 0)
+    for hier in hierarchies:
+        check_all(hier)
+    check_coherence(hierarchies)
+
+
+@settings(max_examples=25, deadline=None)
+@given(ops=st.lists(_OP, min_size=1, max_size=80))
+def test_vr_synonym_single_copy(ops):
+    """Alias-heavy streams never leave two level-1 copies of a block."""
+    layout, hierarchies = _build_machine(
+        HierarchyKind.VR, 1024, 8192, 1, 1, n_cpus=2
+    )
+    for cpu, region, selector, is_write in ops:
+        hier = hierarchies[cpu]
+        pid = cpu + 1
+        if region == "switch":
+            hier.context_switch()
+            continue
+        vaddr = _vaddr(region, pid, selector)
+        hier.access(
+            pid, vaddr, RefKind.WRITE if is_write else RefKind.READ
+        )
+    for hier in hierarchies:
+        check_all(hier)
+
+
+# ------------------------------------------------------------------ substrate
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(1, 2**28))
+def test_format_size_round_trips_for_representable(value):
+    # Only sizes format_size can express exactly round-trip.
+    text = format_size(value)
+    assert parse_size(text) == value
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(1, 1000), min_size=1, max_size=200))
+def test_histogram_conserves_observations(intervals):
+    hist = IntervalHistogram(top=10)
+    for interval in intervals:
+        hist.record(interval)
+    rows = hist.rows()
+    assert sum(count for _, count in rows) == len(intervals)
+    assert hist.observations == len(intervals)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    addresses=st.lists(st.integers(0, 0xFFFF), min_size=1, max_size=300),
+    assoc=st.sampled_from([1, 2, 4]),
+)
+def test_tagstore_matches_reference_lru(addresses, assoc):
+    """The tag store behaves exactly like a textbook LRU cache."""
+    config = CacheConfig(1024, 16, assoc)
+    store = TagStore(config)
+
+    # Reference model: per set, an ordered list of block numbers.
+    reference: dict[int, list[int]] = {}
+
+    for addr in addresses:
+        block_number = config.block_number(addr)
+        set_index = config.set_index(addr)
+        entries = reference.setdefault(set_index, [])
+
+        model_hit = block_number in entries
+        actual = store.access(addr)
+        assert (actual is not None) == model_hit
+
+        if model_hit:
+            entries.remove(block_number)
+        elif len(entries) >= assoc:
+            entries.pop(0)  # LRU out
+        if not model_hit:
+            victim = store.victim(addr)
+            victim.fill(config.tag(addr), 0, 0)
+            store.note_install(victim)
+        entries.append(block_number)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    size=st.sampled_from([256, 1024, 4096, 65536]),
+    block=st.sampled_from([16, 32, 64]),
+    addr=st.integers(0, 2**32 - 1),
+)
+def test_address_slicing_partitions(size, block, addr):
+    """tag/set/offset decompose every address losslessly."""
+    if block > size:
+        return
+    config = CacheConfig(size, block)
+    base = config.address_of(config.tag(addr), config.set_index(addr))
+    offset = addr - config.block_base(addr)
+    assert base + offset == addr
+    assert 0 <= offset < block

@@ -1,0 +1,149 @@
+"""Tests for the reuse-distance profiler (repro.trace.reuse)."""
+
+from collections import OrderedDict
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.trace.record import RefKind, TraceRecord
+from repro.trace.reuse import ReuseDistanceProfile, profile_reuse_distances
+
+R = RefKind.READ
+
+
+def trace(*block_ids: int) -> list[TraceRecord]:
+    """One read per block id, 16-byte blocks, single cpu/pid."""
+    return [TraceRecord(0, 1, R, b * 16) for b in block_ids]
+
+
+class TestStackDistances:
+    def test_first_touches_are_cold(self):
+        profile = profile_reuse_distances(trace(1, 2, 3))
+        assert profile.cold == 3
+        assert profile.distances == {}
+
+    def test_immediate_reuse_is_distance_one(self):
+        profile = profile_reuse_distances(trace(1, 1))
+        assert profile.distances == {1: 1}
+
+    def test_one_intervening_block_is_distance_two(self):
+        profile = profile_reuse_distances(trace(1, 2, 1))
+        assert profile.distances[2] == 1
+
+    def test_duplicates_between_touches_count_once(self):
+        # 1 2 2 2 1: only one distinct block between the two 1s.
+        profile = profile_reuse_distances(trace(1, 2, 2, 2, 1))
+        assert profile.distances[2] == 1
+
+    def test_classic_cyclic_pattern(self):
+        # a b c a b c: second round all at distance 3.
+        profile = profile_reuse_distances(trace(1, 2, 3, 1, 2, 3))
+        assert profile.distances == {3: 3}
+        assert profile.cold == 3
+
+    def test_same_block_different_pid_distinct(self):
+        records = [
+            TraceRecord(0, 1, R, 0x10),
+            TraceRecord(0, 2, R, 0x10),
+            TraceRecord(0, 1, R, 0x10),
+        ]
+        profile = profile_reuse_distances(records)
+        # pid 2's touch is a different virtual stream; pid 1's reuse
+        # sees one distinct intervening block.
+        assert profile.cold == 2
+        assert profile.distances == {2: 1}
+
+    def test_cpu_filter(self):
+        records = [
+            TraceRecord(0, 1, R, 0x10),
+            TraceRecord(1, 1, R, 0x20),
+            TraceRecord(0, 1, R, 0x10),
+        ]
+        profile = profile_reuse_distances(records, cpu=0)
+        assert profile.distances == {1: 1}
+
+    def test_kind_filter_excludes_instr(self):
+        records = [
+            TraceRecord(0, 1, RefKind.INSTR, 0x10),
+            TraceRecord(0, 1, R, 0x10),
+        ]
+        profile = profile_reuse_distances(records)
+        assert profile.total == 1
+
+    def test_physical_merges_synonyms(self):
+        from repro.mmu.address_space import MemoryLayout
+
+        layout = MemoryLayout()
+        layout.add_shared_segment("alias", [(1, 0x4000), (1, 0x10000)], 1)
+        records = [
+            TraceRecord(0, 1, R, 0x4000),
+            TraceRecord(0, 1, R, 0x10000),  # same physical block
+        ]
+        virtual = profile_reuse_distances(records)
+        physical = profile_reuse_distances(
+            records, use_physical=True, layout=layout
+        )
+        assert virtual.cold == 2
+        assert physical.cold == 1 and physical.distances == {1: 1}
+
+    def test_physical_requires_layout(self):
+        with pytest.raises(ConfigurationError):
+            profile_reuse_distances([], use_physical=True)
+
+    def test_block_size_validation(self):
+        with pytest.raises(ConfigurationError):
+            profile_reuse_distances([], block_size=24)
+
+
+class TestMissRatioPrediction:
+    def test_miss_ratio_thresholds(self):
+        profile = profile_reuse_distances(trace(1, 2, 3, 1, 2, 3))
+        # distances all 3: a 2-block cache misses everything,
+        # a 3-block cache hits the reuses.
+        assert profile.miss_ratio(2) == 1.0
+        assert profile.miss_ratio(3) == pytest.approx(0.5)
+
+    def test_curve_monotone_nonincreasing(self):
+        profile = profile_reuse_distances(
+            trace(*(list(range(8)) * 4))
+        )
+        curve = profile.miss_ratio_curve([1, 2, 4, 8, 16])
+        ratios = [ratio for _, ratio in curve]
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_empty_profile(self):
+        assert ReuseDistanceProfile().miss_ratio(4) == 0.0
+
+    def test_size_validation(self):
+        with pytest.raises(ConfigurationError):
+            ReuseDistanceProfile().miss_ratio(0)
+
+    def test_mean_distance(self):
+        profile = profile_reuse_distances(trace(1, 1, 2, 1))
+        # distances: 1 (1->1), then 1 reused at distance 2.
+        assert profile.mean_distance() == pytest.approx(1.5)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        blocks=st.lists(st.integers(0, 30), min_size=1, max_size=200),
+        cache_blocks=st.sampled_from([1, 2, 4, 8, 16]),
+    )
+    def test_prediction_matches_lru_simulation(self, blocks, cache_blocks):
+        """Mattson: the stack-distance prediction equals an actual
+        fully-associative LRU simulation, reference for reference."""
+        profile = profile_reuse_distances(trace(*blocks))
+        cache: OrderedDict[int, None] = OrderedDict()
+        misses = 0
+        for block in blocks:
+            if block in cache:
+                cache.move_to_end(block)
+            else:
+                misses += 1
+                cache[block] = None
+                if len(cache) > cache_blocks:
+                    cache.popitem(last=False)
+        assert profile.miss_ratio(cache_blocks) == pytest.approx(
+            misses / len(blocks)
+        )

@@ -1,0 +1,136 @@
+"""Tests for the single-level cache front end (Tables 1-3 support)."""
+
+from repro.cache.config import CacheConfig
+from repro.coherence.protocol import AllocPolicy, WritePolicy
+from repro.hierarchy.single import SingleLevelCache
+from repro.trace.record import RefKind
+
+I, R, W = RefKind.INSTR, RefKind.READ, RefKind.WRITE
+
+
+def make_cache(**kwargs) -> SingleLevelCache:
+    return SingleLevelCache(CacheConfig.create("1K", 16), **kwargs)
+
+
+class TestWriteThrough:
+    def test_every_write_goes_downstream(self):
+        cache = make_cache(write_policy=WritePolicy.WRITE_THROUGH)
+        cache.access(0x100, W)
+        cache.access(0x100, W)
+        assert cache.stats["downstream_writes"] == 2
+
+    def test_no_write_allocate_by_default(self):
+        cache = make_cache(write_policy=WritePolicy.WRITE_THROUGH)
+        cache.access(0x100, W)
+        assert not cache.access(0x100, R)  # still a miss
+
+    def test_write_allocate_option(self):
+        cache = make_cache(
+            write_policy=WritePolicy.WRITE_THROUGH,
+            alloc_policy=AllocPolicy.WRITE_ALLOCATE,
+        )
+        cache.access(0x100, W)
+        assert cache.access(0x100, R)
+
+    def test_intervals_recorded_between_writes(self):
+        cache = make_cache(write_policy=WritePolicy.WRITE_THROUGH)
+        cache.access(0x100, W)
+        cache.access(0x200, R)
+        cache.access(0x300, W)  # interval of 2 references
+        assert cache.write_intervals.count(2) == 1
+
+
+class TestWriteBack:
+    def test_write_miss_allocates(self):
+        cache = make_cache(write_policy=WritePolicy.WRITE_BACK)
+        cache.access(0x100, W)
+        assert cache.access(0x100, R)
+
+    def test_clean_eviction_silent(self):
+        cache = make_cache(write_policy=WritePolicy.WRITE_BACK)
+        cache.access(0x100, R)
+        cache.access(0x100 + 1024, R)
+        assert cache.stats["downstream_writes"] == 0
+
+    def test_dirty_eviction_writes_downstream(self):
+        cache = make_cache(write_policy=WritePolicy.WRITE_BACK)
+        cache.access(0x100, W)
+        cache.access(0x100 + 1024, R)
+        assert cache.stats["downstream_writes"] == 1
+
+    def test_write_hits_are_free(self):
+        cache = make_cache(write_policy=WritePolicy.WRITE_BACK)
+        for _ in range(5):
+            cache.access(0x100, W)
+        assert cache.stats["downstream_writes"] == 0
+
+
+class TestContextSwitchModes:
+    def test_eager_flush_writes_dirty_blocks(self):
+        cache = make_cache(write_policy=WritePolicy.WRITE_BACK)
+        for i in range(8):
+            cache.access(0x100 + i * 16, W)
+        assert cache.context_switch() == 8
+        assert cache.stats["switch_writebacks"] == 8
+
+    def test_eager_flush_invalidates(self):
+        cache = make_cache(write_policy=WritePolicy.WRITE_BACK)
+        cache.access(0x100, R)
+        cache.context_switch()
+        assert not cache.access(0x100, R)
+
+    def test_lazy_swap_defers_writebacks(self):
+        cache = make_cache(write_policy=WritePolicy.WRITE_BACK, lazy_swap=True)
+        for i in range(8):
+            cache.access(0x100 + i * 16, W)
+        assert cache.context_switch() == 0
+        assert cache.stats["downstream_writes"] == 0
+
+    def test_lazy_swapped_writeback_on_replacement(self):
+        cache = make_cache(write_policy=WritePolicy.WRITE_BACK, lazy_swap=True)
+        cache.access(0x100, W)
+        cache.context_switch()
+        cache.access(0x100 + 1024, R)  # replaces the swapped dirty block
+        assert cache.stats["swapped_downstream_writes"] == 1
+
+    def test_swapped_intervals_tracked_separately(self):
+        cache = make_cache(write_policy=WritePolicy.WRITE_BACK, lazy_swap=True)
+        cache.access(0x100, W)
+        cache.access(0x200, W)
+        cache.context_switch()
+        cache.access(0x100 + 1024, R)
+        for _ in range(20):
+            cache.access(0x300, R)
+        cache.access(0x200 + 1024, R)
+        assert cache.swapped_write_intervals.observations == 1
+        assert cache.swapped_write_intervals.count_top() == 1
+
+    def test_lazy_swapped_block_misses_for_processor(self):
+        cache = make_cache(write_policy=WritePolicy.WRITE_BACK, lazy_swap=True)
+        cache.access(0x100, R)
+        cache.context_switch()
+        assert not cache.access(0x100, R)
+
+
+class TestAccounting:
+    def test_hit_ratio(self):
+        cache = make_cache()
+        cache.access(0x100, R)
+        cache.access(0x100, R)
+        assert cache.hit_ratio == 0.5
+
+    def test_per_class_counters(self):
+        cache = make_cache()
+        cache.access(0x100, I)
+        cache.access(0x200, R)
+        cache.access(0x300, W)
+        assert cache.stats["instr_refs"] == 1
+        assert cache.stats["reads"] == 1
+        assert cache.stats["writes"] == 1
+
+    def test_per_class_hit_counters(self):
+        cache = make_cache()
+        cache.access(0x100, R)
+        cache.access(0x100, R)
+        assert cache.stats["misses_r"] == 1
+        assert cache.stats["hits_r"] == 1

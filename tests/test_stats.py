@@ -1,0 +1,134 @@
+"""Unit tests for repro.common.stats."""
+
+import pytest
+
+from repro.common.stats import CounterBag, IntervalHistogram, ratio
+
+
+class TestCounterBag:
+    def test_missing_counter_reads_zero(self):
+        assert CounterBag()["anything"] == 0
+
+    def test_add_default_increment(self):
+        bag = CounterBag()
+        bag.add("hits")
+        assert bag["hits"] == 1
+
+    def test_add_amount(self):
+        bag = CounterBag()
+        bag.add("hits", 5)
+        bag.add("hits", 2)
+        assert bag["hits"] == 7
+
+    def test_negative_amount_allowed(self):
+        bag = CounterBag()
+        bag.add("x", 3)
+        bag.add("x", -1)
+        assert bag["x"] == 2
+
+    def test_contains(self):
+        bag = CounterBag()
+        bag.add("present")
+        assert "present" in bag
+        assert "absent" not in bag
+
+    def test_names_sorted(self):
+        bag = CounterBag()
+        bag.add("b")
+        bag.add("a")
+        assert bag.names() == ["a", "b"]
+
+    def test_total_over_subset(self):
+        bag = CounterBag()
+        bag.add("a", 1)
+        bag.add("b", 2)
+        bag.add("c", 4)
+        assert bag.total(["a", "c", "missing"]) == 5
+
+    def test_as_dict_snapshot(self):
+        bag = CounterBag()
+        bag.add("a", 1)
+        snapshot = bag.as_dict()
+        bag.add("a", 1)
+        assert snapshot == {"a": 1}
+
+    def test_merge(self):
+        left, right = CounterBag(), CounterBag()
+        left.add("a", 1)
+        right.add("a", 2)
+        right.add("b", 3)
+        left.merge(right)
+        assert left["a"] == 3 and left["b"] == 3
+
+    def test_reset(self):
+        bag = CounterBag()
+        bag.add("a")
+        bag.reset()
+        assert bag["a"] == 0 and "a" not in bag
+
+    def test_iteration(self):
+        bag = CounterBag()
+        bag.add("x")
+        assert list(bag) == ["x"]
+
+    def test_repr_mentions_counts(self):
+        bag = CounterBag()
+        bag.add("hits", 2)
+        assert "hits=2" in repr(bag)
+
+
+class TestIntervalHistogram:
+    def test_records_buckets_below_top(self):
+        hist = IntervalHistogram(top=10)
+        hist.record(3)
+        hist.record(3)
+        assert hist.count(3) == 2
+
+    def test_top_bucket_catches_large(self):
+        hist = IntervalHistogram(top=10)
+        hist.record(10)
+        hist.record(5000)
+        assert hist.count_top() == 2
+
+    def test_boundary_goes_to_top(self):
+        hist = IntervalHistogram(top=10)
+        hist.record(9)
+        assert hist.count(9) == 1
+        assert hist.count_top() == 0
+
+    def test_observations_counted(self):
+        hist = IntervalHistogram(top=10)
+        for interval in (1, 2, 30):
+            hist.record(interval)
+        assert hist.observations == 3
+
+    def test_rejects_nonpositive_interval(self):
+        hist = IntervalHistogram()
+        with pytest.raises(ValueError):
+            hist.record(0)
+
+    def test_count_rejects_top_range(self):
+        hist = IntervalHistogram(top=10)
+        with pytest.raises(ValueError):
+            hist.count(10)
+
+    def test_rows_paper_shape(self):
+        hist = IntervalHistogram(top=10)
+        hist.record(1)
+        hist.record(12)
+        rows = hist.rows()
+        assert rows[0] == ("1", 1)
+        assert rows[-1] == ("10 and larger", 1)
+        assert len(rows) == 10
+
+    def test_top_threshold_validation(self):
+        with pytest.raises(ValueError):
+            IntervalHistogram(top=1)
+
+
+class TestRatio:
+    def test_normal_division(self):
+        assert ratio(1, 4) == 0.25
+
+    def test_zero_denominator(self):
+        assert ratio(5, 0) == 0.0

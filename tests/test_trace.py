@@ -1,0 +1,158 @@
+"""Tests for trace records, text I/O and the analysers."""
+
+import pytest
+
+from repro.common.errors import TraceFormatError
+from repro.trace.analyze import profile_call_writes, summarize
+from repro.trace.record import RefKind, TraceRecord
+from repro.trace.textio import dump, load, parse_line
+
+I, R, W = RefKind.INSTR, RefKind.READ, RefKind.WRITE
+CALL, SW = RefKind.CALL, RefKind.CSWITCH
+
+
+class TestRecord:
+    def test_memory_kinds(self):
+        assert I.is_memory and R.is_memory and W.is_memory
+        assert not CALL.is_memory and not SW.is_memory
+
+    def test_data_kinds(self):
+        assert R.is_data and W.is_data and not I.is_data
+
+    def test_record_is_frozen(self):
+        record = TraceRecord(0, 1, R, 0x40)
+        with pytest.raises(AttributeError):
+            record.vaddr = 0
+
+    def test_str_format(self):
+        assert str(TraceRecord(2, 7, W, 0xFF)) == "2 7 w ff"
+
+    def test_is_memory_shorthand(self):
+        assert TraceRecord(0, 1, R, 0).is_memory
+        assert not TraceRecord(0, 1, SW, 0).is_memory
+
+
+class TestTextIO:
+    def test_round_trip(self, tmp_path):
+        records = [
+            TraceRecord(0, 1, I, 0x1000),
+            TraceRecord(1, 2, W, 0xABCD),
+            TraceRecord(0, 3, SW, 0),
+        ]
+        path = tmp_path / "trace.txt"
+        assert dump(records, path) == 3
+        assert list(load(path)) == records
+
+    def test_parse_line(self):
+        assert parse_line("1 2 r ff00") == TraceRecord(1, 2, R, 0xFF00)
+
+    def test_blank_and_comment_skipped(self):
+        assert parse_line("") is None
+        assert parse_line("   ") is None
+        assert parse_line("# comment") is None
+
+    def test_wrong_field_count(self):
+        with pytest.raises(TraceFormatError, match="4 fields"):
+            parse_line("1 2 r", lineno=3)
+
+    def test_bad_kind(self):
+        with pytest.raises(TraceFormatError):
+            parse_line("1 2 x ff")
+
+    def test_bad_hex(self):
+        with pytest.raises(TraceFormatError):
+            parse_line("1 2 r zz")
+
+    def test_negative_field(self):
+        with pytest.raises(TraceFormatError):
+            parse_line("-1 2 r ff")
+
+    def test_load_skips_comments(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("# header\n0 1 r 40\n\n0 1 w 50\n")
+        assert len(list(load(path))) == 2
+
+
+class TestSummarize:
+    def test_counts_by_kind(self):
+        records = [
+            TraceRecord(0, 1, I, 0),
+            TraceRecord(0, 1, R, 0),
+            TraceRecord(0, 1, R, 0),
+            TraceRecord(1, 1, W, 0),
+            TraceRecord(0, 1, SW, 0),
+            TraceRecord(0, 1, CALL, 0),
+        ]
+        summary = summarize(records, "demo")
+        assert summary.instr_count == 1
+        assert summary.data_read == 2
+        assert summary.data_write == 1
+        assert summary.context_switches == 1
+        assert summary.calls == 1
+        assert summary.total_refs == 4
+        assert summary.n_cpus == 2
+
+
+class TestCallProfile:
+    def test_burst_attribution(self):
+        records = [
+            TraceRecord(0, 1, CALL, 0),
+            TraceRecord(0, 1, W, 0x10),
+            TraceRecord(0, 1, W, 0x14),
+            TraceRecord(0, 1, I, 0x1000),  # closes the burst
+            TraceRecord(0, 1, W, 0x18),     # unattributed write
+        ]
+        profile = profile_call_writes(records)
+        assert profile.per_call == {2: 1}
+        assert profile.call_writes == 2
+        assert profile.total_writes == 3
+
+    def test_burst_interrupted_by_read(self):
+        records = [
+            TraceRecord(0, 1, CALL, 0),
+            TraceRecord(0, 1, W, 0x10),
+            TraceRecord(0, 1, R, 0x20),
+            TraceRecord(0, 1, W, 0x14),
+        ]
+        profile = profile_call_writes(records)
+        assert profile.per_call == {1: 1}
+
+    def test_per_cpu_bursts_independent(self):
+        records = [
+            TraceRecord(0, 1, CALL, 0),
+            TraceRecord(1, 2, CALL, 0),
+            TraceRecord(0, 1, W, 0x10),
+            TraceRecord(1, 2, W, 0x20),
+            TraceRecord(1, 2, W, 0x24),
+            TraceRecord(0, 1, I, 0),
+            TraceRecord(1, 2, I, 0),
+        ]
+        profile = profile_call_writes(records)
+        assert profile.per_call == {1: 1, 2: 1}
+
+    def test_cpu_filter(self):
+        records = [
+            TraceRecord(0, 1, CALL, 0),
+            TraceRecord(0, 1, W, 0x10),
+            TraceRecord(1, 2, W, 0x20),
+            TraceRecord(0, 1, I, 0),
+        ]
+        profile = profile_call_writes(records, cpu=0)
+        assert profile.total_writes == 1
+
+    def test_open_burst_at_end_counted(self):
+        records = [
+            TraceRecord(0, 1, CALL, 0),
+            TraceRecord(0, 1, W, 0x10),
+        ]
+        assert profile_call_writes(records).per_call == {1: 1}
+
+    def test_rows_shape(self):
+        records = [
+            TraceRecord(0, 1, CALL, 0),
+            *[TraceRecord(0, 1, W, 0x10 + i * 4) for i in range(6)],
+            TraceRecord(0, 1, I, 0),
+        ]
+        rows = profile_call_writes(records).rows(max_burst=16)
+        assert len(rows) == 16
+        assert rows[5] == (6, 1, 6)

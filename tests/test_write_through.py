@@ -1,0 +1,271 @@
+"""Tests for the write-through level-1 option (section 2's rejected
+alternative) and the write-update coherence protocol."""
+
+import itertools
+
+import pytest
+
+from repro.coherence.bus import Bus, MainMemory
+from repro.coherence.protocol import ShareState, WritePolicy
+from repro.hierarchy.checker import check_all, check_coherence
+from repro.hierarchy.config import HierarchyConfig, HierarchyKind, Protocol
+from repro.hierarchy.twolevel import Outcome, TwoLevelHierarchy
+from repro.mmu.address_space import MemoryLayout
+from repro.system.multiprocessor import Multiprocessor
+from repro.trace.record import RefKind
+from repro.trace.synthetic import SyntheticWorkload
+from tests.conftest import build_hierarchy, tiny_spec
+
+R, W = RefKind.READ, RefKind.WRITE
+
+SHARED = {1: 0x100000, 2: 0x180000}
+
+
+def shared_layout():
+    layout = MemoryLayout()
+    layout.add_private_segment(1, "data", 0x40000, 8)
+    layout.add_private_segment(2, "data", 0x40000, 8)
+    layout.add_shared_segment("shm", [(1, SHARED[1]), (2, SHARED[2])], 4)
+    return layout
+
+
+def wt_pair(protocol=Protocol.WRITE_INVALIDATE, kind=HierarchyKind.VR):
+    layout = shared_layout()
+    bus = Bus(MainMemory())
+    counter = itertools.count(1).__next__
+    config = HierarchyConfig.sized(
+        "1K",
+        "8K",
+        kind=kind,
+        l1_write_policy=WritePolicy.WRITE_THROUGH,
+        write_buffer_capacity=4,
+        protocol=protocol,
+    )
+    hierarchies = [
+        TwoLevelHierarchy(config, layout, bus, next_version=counter)
+        for _ in range(2)
+    ]
+    return layout, bus, hierarchies
+
+
+class TestWriteThroughLocal:
+    def test_write_hit_keeps_block_clean(self):
+        _, _, (h0, _) = wt_pair()
+        h0.access(1, 0x40000, R)
+        h0.access(1, 0x40000, W)
+        block = h0.l1_caches[0].find_present(0x40000)
+        assert block is not None and not block.dirty
+
+    def test_write_goes_to_buffer(self):
+        _, _, (h0, _) = wt_pair()
+        h0.access(1, 0x40000, R)
+        h0.access(1, 0x40000, W)
+        assert h0.stats.counters["wt_writes"] == 1
+        assert len(h0.write_buffer) == 1
+
+    def test_write_miss_does_not_allocate(self):
+        _, _, (h0, _) = wt_pair()
+        h0.access(1, 0x40000, W)
+        assert h0.l1_caches[0].find_present(0x40000) is None
+        # ...but the next read still observes the written value.
+        version = h0.write_buffer.entries()[0].version
+        assert h0.access(1, 0x40000, R).version == version
+
+    def test_back_to_back_writes_merge(self):
+        _, _, (h0, _) = wt_pair()
+        h0.access(1, 0x40000, R)
+        h0.access(1, 0x40000, W)
+        h0.access(1, 0x40004, W)  # same block
+        assert h0.stats.counters["wt_write_merges"] == 1
+        assert len(h0.write_buffer) == 1
+
+    def test_drain_updates_l2(self):
+        layout, _, (h0, _) = wt_pair()
+        h0.access(1, 0x40000, R)
+        version = h0.access(1, 0x40000, W).version
+        h0.drain_write_buffer()
+        paddr = layout.translate(1, 0x40000)
+        _, sub = h0.rcache.lookup(paddr)
+        assert sub.version == version and not sub.buffer
+        check_all(h0)
+
+    def test_burst_writes_stall_small_buffer(self):
+        layout = shared_layout()
+        config = HierarchyConfig.sized(
+            "1K",
+            "8K",
+            l1_write_policy=WritePolicy.WRITE_THROUGH,
+            write_buffer_capacity=1,
+        )
+        hier = TwoLevelHierarchy(
+            config, layout, Bus(MainMemory()), drain_period=6
+        )
+        # A call-style burst of writes to different blocks.
+        for i in range(6):
+            hier.access(1, 0x40000 + i * 16, W)
+        assert hier.stats.counters["writeback_stalls"] >= 3
+
+    def test_no_swapped_writebacks_after_switch(self):
+        _, _, (h0, _) = wt_pair()
+        h0.access(1, 0x40000, R)
+        h0.access(1, 0x40000, W)
+        h0.drain_write_buffer()
+        h0.context_switch()
+        h0.access(1, 0x40000 + h0.config.l1.size, R)  # evict swapped block
+        assert h0.stats.counters["swapped_writebacks"] == 0
+
+    def test_synonym_read_after_wt_write(self):
+        layout = MemoryLayout()
+        layout.add_shared_segment("alias", [(1, 0x200000), (1, 0x284000)], 2)
+        config = HierarchyConfig.sized(
+            "1K", "8K", l1_write_policy=WritePolicy.WRITE_THROUGH
+        )
+        hier = TwoLevelHierarchy(config, layout, Bus(MainMemory()))
+        hier.access(1, 0x200000, R)
+        version = hier.access(1, 0x200000, W).version
+        result = hier.access(1, 0x284000, R)
+        assert result.version == version
+        check_all(hier)
+
+    def test_wt_write_miss_updates_synonym_copy(self):
+        layout = MemoryLayout()
+        layout.add_shared_segment("alias", [(1, 0x200000), (1, 0x284000)], 2)
+        config = HierarchyConfig.sized(
+            "1K", "8K", l1_write_policy=WritePolicy.WRITE_THROUGH
+        )
+        hier = TwoLevelHierarchy(config, layout, Bus(MainMemory()))
+        hier.access(1, 0x200000, R)             # copy under name A
+        version = hier.access(1, 0x284000, W).version  # write under name B
+        assert hier.stats.counters["wt_synonym_updates"] == 1
+        # The copy under name A must observe the write.
+        assert hier.access(1, 0x200000, R).version == version
+        check_all(hier)
+
+
+class TestWriteThroughCoherence:
+    def test_remote_read_supplied_from_wt_buffer(self):
+        layout, bus, (h0, h1) = wt_pair()
+        h0.access(1, SHARED[1], R)
+        version = h0.access(1, SHARED[1], W).version
+        result = h1.access(2, SHARED[2], R)
+        assert result.version == version
+        check_coherence([h0, h1])
+
+    def test_wt_local_copy_survives_remote_read(self):
+        layout, bus, (h0, h1) = wt_pair()
+        h0.access(1, SHARED[1], R)
+        h0.access(1, SHARED[1], W)
+        h1.access(2, SHARED[2], R)
+        assert h0.access(1, SHARED[1], R).outcome is Outcome.L1_HIT
+
+    def test_wt_value_oracle(self):
+        workload = SyntheticWorkload(tiny_spec(total_refs=6000))
+        config = HierarchyConfig.sized(
+            "1K", "8K", l1_write_policy=WritePolicy.WRITE_THROUGH,
+            write_buffer_capacity=4,
+        )
+        machine = Multiprocessor(workload.layout, 2, config)
+        machine.run(workload, check_values=True)
+        for hier in machine.hierarchies:
+            check_all(hier)
+
+    def test_wt_no_inclusion_value_oracle(self):
+        workload = SyntheticWorkload(tiny_spec(total_refs=6000))
+        config = HierarchyConfig.sized(
+            "1K",
+            "8K",
+            kind=HierarchyKind.RR_NO_INCLUSION,
+            l1_write_policy=WritePolicy.WRITE_THROUGH,
+            write_buffer_capacity=4,
+        )
+        machine = Multiprocessor(workload.layout, 2, config)
+        machine.run(workload, check_values=True)
+
+
+class TestWriteUpdateProtocol:
+    def test_peer_copy_updated_not_invalidated(self):
+        layout, bus, (h0, h1) = wt_pair(protocol=Protocol.WRITE_UPDATE)
+        h0.access(1, SHARED[1], R)
+        h1.access(2, SHARED[2], R)
+        version = h0.access(1, SHARED[1], W).version
+        # h1's copies survive and hold the new data: a level-1 HIT.
+        result = h1.access(2, SHARED[2], R)
+        assert result.outcome is Outcome.L1_HIT
+        assert result.version == version
+        assert h1.stats.counters["l1_coherence_updates"] == 1
+
+    def test_update_keeps_shared_state(self):
+        layout, bus, (h0, h1) = wt_pair(protocol=Protocol.WRITE_UPDATE)
+        h0.access(1, SHARED[1], R)
+        h1.access(2, SHARED[2], R)
+        h0.access(1, SHARED[1], W)
+        for hier, pid in ((h0, 1), (h1, 2)):
+            paddr = layout.translate(pid, SHARED[pid])
+            _, sub = hier.rcache.lookup(paddr)
+            assert sub.state is ShareState.SHARED
+
+    def test_update_writes_memory(self):
+        layout, bus, (h0, h1) = wt_pair(protocol=Protocol.WRITE_UPDATE)
+        h0.access(1, SHARED[1], R)
+        h1.access(2, SHARED[2], R)
+        version = h0.access(1, SHARED[1], W).version
+        pblock = layout.translate(1, SHARED[1]) >> 4
+        assert bus.memory.peek(pblock) == version
+
+    def test_private_write_stays_local_writeback(self):
+        import itertools as it
+
+        layout = shared_layout()
+        bus = Bus(MainMemory())
+        config = HierarchyConfig.sized(
+            "1K", "8K", protocol=Protocol.WRITE_UPDATE
+        )
+        h0 = TwoLevelHierarchy(
+            config, layout, bus, next_version=it.count(1).__next__
+        )
+        h0.access(1, 0x40000, R)
+        before = bus.stats["write_update"]
+        h0.access(1, 0x40000, W)  # private: no broadcast
+        assert bus.stats["write_update"] == before
+
+    def test_update_protocol_value_oracle_writeback(self):
+        workload = SyntheticWorkload(tiny_spec(total_refs=6000))
+        config = HierarchyConfig.sized(
+            "1K", "8K", protocol=Protocol.WRITE_UPDATE
+        )
+        machine = Multiprocessor(workload.layout, 2, config)
+        machine.run(workload, check_values=True)
+        for hier in machine.hierarchies:
+            check_all(hier)
+        check_coherence(machine.hierarchies)
+
+    def test_update_protocol_value_oracle_write_through(self):
+        workload = SyntheticWorkload(tiny_spec(total_refs=6000))
+        config = HierarchyConfig.sized(
+            "1K",
+            "8K",
+            l1_write_policy=WritePolicy.WRITE_THROUGH,
+            write_buffer_capacity=4,
+            protocol=Protocol.WRITE_UPDATE,
+        )
+        machine = Multiprocessor(workload.layout, 2, config)
+        machine.run(workload, check_values=True)
+
+    def test_update_vs_invalidate_pingpong_misses(self):
+        """On a write ping-pong, the update protocol keeps both level-1
+        copies alive while invalidation forces misses."""
+        def pingpong(protocol):
+            _, _, (h0, h1) = wt_pair(protocol=protocol)
+            h0.access(1, SHARED[1], R)
+            h1.access(2, SHARED[2], R)
+            for _ in range(20):
+                h0.access(1, SHARED[1], W)
+                h1.access(2, SHARED[2], W)
+            return (
+                h0.stats.counters["l1_misses_w"]
+                + h1.stats.counters["l1_misses_w"]
+            )
+
+        assert pingpong(Protocol.WRITE_UPDATE) < pingpong(
+            Protocol.WRITE_INVALIDATE
+        )
