@@ -36,6 +36,14 @@ class ReplacementPolicy(ABC):
     def choose(self, set_index: int, candidates: Sequence[int]) -> int:
         """Pick a victim way among *candidates* (never empty)."""
 
+    @abstractmethod
+    def export_state(self) -> object:
+        """Checkpointable snapshot of the per-set policy state."""
+
+    @abstractmethod
+    def restore_state(self, state: object) -> None:
+        """Replace the policy state with a snapshot's."""
+
 
 class LRUPolicy(ReplacementPolicy):
     """Least-recently-used: the paper's default at both levels."""
@@ -67,6 +75,12 @@ class LRUPolicy(ReplacementPolicy):
         """Ways LRU-first, exposed for tests."""
         return list(self._order[set_index])
 
+    def export_state(self) -> object:
+        return [list(order) for order in self._order]
+
+    def restore_state(self, state: object) -> None:
+        self._order = [list(order) for order in state]  # type: ignore[union-attr]
+
 
 class FIFOPolicy(ReplacementPolicy):
     """First-in-first-out: order set at install time only."""
@@ -90,6 +104,12 @@ class FIFOPolicy(ReplacementPolicy):
                 return way
         raise ConfigurationError("victim requested with no candidate ways")
 
+    def export_state(self) -> object:
+        return [list(order) for order in self._order]
+
+    def restore_state(self, state: object) -> None:
+        self._order = [list(order) for order in state]  # type: ignore[union-attr]
+
 
 class RandomPolicy(ReplacementPolicy):
     """Seeded random choice, as the paper's R-cache fallback rule uses."""
@@ -108,6 +128,12 @@ class RandomPolicy(ReplacementPolicy):
         if not candidates:
             raise ConfigurationError("victim requested with no candidate ways")
         return self._rng.choice(list(candidates))
+
+    def export_state(self) -> object:
+        return self._rng.getstate()
+
+    def restore_state(self, state: object) -> None:
+        self._rng.setstate(state)  # type: ignore[arg-type]
 
 
 _POLICIES = {"lru": LRUPolicy, "fifo": FIFOPolicy, "random": RandomPolicy}

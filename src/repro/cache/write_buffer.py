@@ -104,3 +104,21 @@ class WriteBuffer:
     def entries(self) -> list[WriteBufferEntry]:
         """Snapshot of queued entries, oldest first."""
         return list(self._entries)
+
+    def export_state(self) -> dict:
+        """Checkpointable snapshot (contents and statistics)."""
+        return {
+            "entries": [
+                (e.pblock, e.version, e.swapped) for e in self._entries
+            ],
+            "stats": self.stats.export_state(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Replace buffer contents with a snapshot's (no stats side
+        effects beyond restoring the snapshot's own counters)."""
+        self._entries = deque(
+            WriteBufferEntry(pblock, version, swapped)
+            for pblock, version, swapped in state["entries"]
+        )
+        self.stats.restore_state(state["stats"])

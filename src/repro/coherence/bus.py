@@ -12,6 +12,7 @@ observing a stale stamp is a coherence bug the test suite can detect.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from typing import Protocol
 
 from ..common.errors import ProtocolError
@@ -44,6 +45,18 @@ class MainMemory:
         """Version without counting a memory access (for checkers)."""
         return self._versions.get(pblock, 0)
 
+    def export_state(self) -> dict:
+        """Checkpointable snapshot of contents and access counters."""
+        return {
+            "versions": dict(self._versions),
+            "stats": self.stats.export_state(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Replace memory contents with a snapshot's."""
+        self._versions = dict(state["versions"])
+        self.stats.restore_state(state["stats"])
+
 
 class Snooper(Protocol):
     """What the bus requires of an attached cache hierarchy."""
@@ -65,6 +78,10 @@ class Bus:
         self.memory = memory if memory is not None else MainMemory()
         self.stats = CounterBag()
         self._snoopers: list[Snooper] = []
+        # Called after each completed transaction (coherence boundary);
+        # the invariant guard hooks in here.  One observer suffices —
+        # it is installed by whoever owns the machine.
+        self.observer: Callable[[BusTransaction], None] | None = None
 
     def attach(self, snooper: Snooper) -> int:
         """Register a hierarchy; returns its bus index (CPU id)."""
@@ -93,6 +110,13 @@ class Bus:
           cache still holds the block.
         * WRITE_BACK — memory update only; nothing snoops.
         """
+        result = self._complete(txn)
+        if self.observer is not None:
+            self.observer(txn)
+        return result
+
+    def _complete(self, txn: BusTransaction) -> BusResult:
+        """The transaction body (snoop round plus memory update)."""
         self.stats.add(txn.op.value)
         if txn.op is BusOp.WRITE_BACK:
             raise ProtocolError(
@@ -122,7 +146,11 @@ class Bus:
             return BusResult(shared=shared, version=None)
 
         if txn.op is BusOp.WRITE_UPDATE:
-            assert txn.version is not None
+            if txn.version is None:
+                raise ProtocolError(
+                    "write-update lost its data version mid-transaction",
+                    pblock=txn.pblock,
+                )
             self.memory.write(txn.pblock, txn.version)
             return BusResult(shared=shared, version=txn.version)
 

@@ -1,8 +1,11 @@
 """Shared utilities: sizes, errors, counters."""
 
 from .errors import (
+    BusFaultError,
+    CheckpointError,
     ConfigurationError,
     InclusionError,
+    IntegrityError,
     ProtocolError,
     ReproError,
     TraceFormatError,
@@ -12,9 +15,12 @@ from .params import format_size, is_power_of_two, log2_exact, parse_size
 from .stats import CounterBag, IntervalHistogram, ratio
 
 __all__ = [
+    "BusFaultError",
+    "CheckpointError",
     "ConfigurationError",
     "CounterBag",
     "InclusionError",
+    "IntegrityError",
     "IntervalHistogram",
     "ProtocolError",
     "ReproError",

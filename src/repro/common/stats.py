@@ -64,6 +64,14 @@ class CounterBag:
         """Zero all counters."""
         self._counts.clear()
 
+    def export_state(self) -> dict[str, int]:
+        """Checkpointable snapshot of the bag's contents."""
+        return dict(self._counts)
+
+    def restore_state(self, state: dict[str, int]) -> None:
+        """Replace the bag's contents with a snapshot's."""
+        self._counts = Counter(state)
+
     def __repr__(self) -> str:
         inner = ", ".join(f"{k}={v}" for k, v in sorted(self._counts.items()))
         return f"CounterBag({inner})"
@@ -116,6 +124,22 @@ class IntervalHistogram:
     def observations(self) -> int:
         """Total number of recorded intervals."""
         return self._observations
+
+    def export_state(self) -> dict:
+        """Checkpointable snapshot of the histogram's contents."""
+        return {
+            "top": self.top,
+            "buckets": dict(self._buckets),
+            "top_count": self._top_count,
+            "observations": self._observations,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Replace the histogram's contents with a snapshot's."""
+        self.top = state["top"]
+        self._buckets = Counter(state["buckets"])
+        self._top_count = state["top_count"]
+        self._observations = state["observations"]
 
     def rows(self) -> list[tuple[str, int]]:
         """Rows in the paper's table shape: ('1', n) .. ('10 and larger', n)."""

@@ -28,8 +28,11 @@ from .base import (
     SIZE_PAIRS,
     SMALL_SIZE_PAIRS,
     ExperimentResult,
+    RunOptions,
     clear_caches,
     default_scale,
+    get_run_options,
+    set_run_options,
     simulate,
     trace_records,
 )
@@ -68,12 +71,15 @@ def get_runner(experiment_id: str) -> Callable[..., ExperimentResult]:
 __all__ = [
     "ExperimentResult",
     "RUNNERS",
+    "RunOptions",
     "SIZE_PAIRS",
     "SMALL_SIZE_PAIRS",
     "clear_caches",
     "default_scale",
     "experiment_ids",
+    "get_run_options",
     "get_runner",
+    "set_run_options",
     "simulate",
     "trace_records",
 ]

@@ -17,6 +17,14 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 
+from ..faults import (
+    FaultConfig,
+    FaultInjector,
+    FaultKind,
+    FaultyBus,
+    InvariantGuard,
+    run_checkpointed,
+)
 from ..hierarchy.config import HierarchyConfig, HierarchyKind
 from ..mmu.address_space import MemoryLayout
 from ..system.multiprocessor import Multiprocessor, SimulationResult
@@ -66,6 +74,60 @@ class ExperimentResult:
         return f"{header}\n{self.text}"
 
 
+@dataclass(frozen=True)
+class RunOptions:
+    """Cross-cutting options applied to every simulation of a run.
+
+    Set from the CLI (``--check-every``, ``--guard-policy``,
+    ``--checkpoint`` …) via :func:`set_run_options`; the defaults are
+    a plain unguarded run, so existing callers are unaffected.
+
+    Attributes:
+        check_every: run the invariant guard every N accesses
+            (None disables the guard).
+        guard_policy: "fail-fast", "repair" or "log".
+        fault_rate: per-access probability for each metadata fault
+            kind (0 disables injection).
+        fault_seed: seed of the fault injector's RNG.
+        checkpoint_dir: directory for checkpoint files; enables
+            resumable replay (None disables it).
+        checkpoint_every: trace records replayed between checkpoints.
+    """
+
+    check_every: int | None = None
+    guard_policy: str = "fail-fast"
+    fault_rate: float = 0.0
+    fault_seed: int = 0
+    checkpoint_dir: str | None = None
+    checkpoint_every: int = 50_000
+
+
+_run_options = RunOptions()
+
+
+def set_run_options(options: RunOptions) -> RunOptions:
+    """Install *options* for subsequent simulations; returns the old ones."""
+    global _run_options
+    previous = _run_options
+    _run_options = options
+    return previous
+
+
+def get_run_options() -> RunOptions:
+    """The options currently applied to simulations."""
+    return _run_options
+
+
+#: Metadata fault kinds --fault-rate spreads its probability over.
+_INJECTED_KINDS = (
+    FaultKind.FLIP_INCLUSION,
+    FaultKind.FLIP_VDIRTY,
+    FaultKind.FLIP_L1_DIRTY,
+    FaultKind.CORRUPT_V_POINTER,
+    FaultKind.CORRUPT_TLB,
+)
+
+
 _trace_cache: dict[tuple[str, float], tuple[list[TraceRecord], MemoryLayout]] = {}
 _sim_cache: dict[tuple, SimulationResult] = {}
 
@@ -102,9 +164,17 @@ def simulate(
     block_size: str | int = 16,
     seed: int = 0,
 ) -> SimulationResult:
-    """Run (or reuse) one full-machine simulation."""
+    """Run (or reuse) one full-machine simulation.
+
+    Honours the installed :class:`RunOptions`: an invariant guard
+    every ``check_every`` accesses, seeded metadata fault injection,
+    and checkpointed (resumable) replay.  The memo key includes the
+    options, so guarded and unguarded results never mix.
+    """
+    options = _run_options
     key = (trace_name, scale, l1_size, l2_size, kind, split_l1, block_size, seed)
-    cached = _sim_cache.get(key)
+    cache_key = key + (options,)
+    cached = _sim_cache.get(cache_key)
     if cached is not None:
         return cached
     records, layout = trace_records(trace_name, scale)
@@ -112,7 +182,41 @@ def simulate(
     config = HierarchyConfig.sized(
         l1_size, l2_size, block_size=block_size, kind=kind, split_l1=split_l1
     )
-    machine = Multiprocessor(layout, spec.n_cpus, config, seed=seed)
-    result = machine.run(records)
-    _sim_cache[key] = result
+
+    injector = None
+    bus = None
+    if options.fault_rate > 0.0:
+        injector = FaultInjector(
+            FaultConfig(
+                probabilities={
+                    k: options.fault_rate for k in _INJECTED_KINDS
+                },
+                seed=options.fault_seed,
+            )
+        )
+        bus = FaultyBus(injector)
+    guard = None
+    if options.check_every is not None:
+        guard = InvariantGuard(options.guard_policy, options.check_every)
+
+    machine = Multiprocessor(layout, spec.n_cpus, config, seed=seed, bus=bus)
+    if options.checkpoint_dir is not None:
+        os.makedirs(options.checkpoint_dir, exist_ok=True)
+        stem = "-".join(
+            str(part.value if isinstance(part, HierarchyKind) else part)
+            for part in key
+        )
+        path = os.path.join(options.checkpoint_dir, f"{stem}.ckpt")
+        result = run_checkpointed(
+            machine,
+            records,
+            path,
+            key=tuple(repr(part) for part in key),
+            chunk=options.checkpoint_every,
+            injector=injector,
+            guard=guard,
+        )
+    else:
+        result = machine.run(records, injector=injector, guard=guard)
+    _sim_cache[cache_key] = result
     return result

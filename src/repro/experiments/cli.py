@@ -5,6 +5,17 @@ Examples::
     repro-experiment table6
     repro-experiment figures --scale 0.1
     repro-experiment all --scale 0.02
+
+Robustness options::
+
+    repro-experiment table6 --check-every 100           # invariant guard
+    repro-experiment table6 --fault-rate 1e-3 \\
+        --check-every 100 --guard-policy repair          # inject + repair
+    repro-experiment all --checkpoint /tmp/ckpt          # resumable replay
+
+An interrupted run (Ctrl-C) exits with code 130 after flushing the
+results of every experiment that completed; re-running with the same
+``--checkpoint`` directory resumes mid-trace.
 """
 
 from __future__ import annotations
@@ -13,7 +24,13 @@ import argparse
 import sys
 import time
 
-from . import default_scale, experiment_ids, get_runner
+from . import (
+    RunOptions,
+    default_scale,
+    experiment_ids,
+    get_runner,
+    set_run_options,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -40,13 +57,73 @@ def build_parser() -> argparse.ArgumentParser:
             f"(default {default_scale()} or $REPRO_SCALE; 1.0 = full)"
         ),
     )
+    guard = parser.add_argument_group("robustness")
+    guard.add_argument(
+        "--check-every",
+        type=int,
+        metavar="N",
+        default=None,
+        help="run the invariant guard every N accesses (off by default)",
+    )
+    guard.add_argument(
+        "--guard-policy",
+        choices=["fail-fast", "repair", "log"],
+        default="fail-fast",
+        help="what the guard does on a violation (default: fail-fast)",
+    )
+    guard.add_argument(
+        "--fault-rate",
+        type=float,
+        metavar="P",
+        default=0.0,
+        help="inject each metadata fault kind with per-access probability P",
+    )
+    guard.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed of the fault injector's RNG (default: 0)",
+    )
+    guard.add_argument(
+        "--checkpoint",
+        metavar="DIR",
+        default=None,
+        help="checkpoint simulations into DIR and resume from it",
+    )
+    guard.add_argument(
+        "--checkpoint-every",
+        type=int,
+        metavar="N",
+        default=50_000,
+        help="trace records between checkpoints (default: 50000)",
+    )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     """Run the CLI; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    if args.check_every is not None and args.check_every < 1:
+        print("--check-every must be >= 1", file=sys.stderr)
+        return 2
+    if args.checkpoint_every < 1:
+        print("--checkpoint-every must be >= 1", file=sys.stderr)
+        return 2
+    if not 0.0 <= args.fault_rate <= 1.0:
+        print("--fault-rate must be a probability in [0, 1]", file=sys.stderr)
+        return 2
     ids = experiment_ids() if args.experiment == "all" else [args.experiment]
+    previous = set_run_options(
+        RunOptions(
+            check_every=args.check_every,
+            guard_policy=args.guard_policy,
+            fault_rate=args.fault_rate,
+            fault_seed=args.fault_seed,
+            checkpoint_dir=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
+        )
+    )
+    completed = 0
     try:
         for experiment_id in ids:
             started = time.time()
@@ -55,9 +132,21 @@ def main(argv: list[str] | None = None) -> int:
             print(result.render())
             print(f"[{experiment_id} completed in {elapsed:.1f}s]")
             print()
+            completed += 1
     except BrokenPipeError:
         # Output piped into a pager/head that closed early: not an error.
         return 0
+    except KeyboardInterrupt:
+        # Flush what finished, report, and exit with the conventional
+        # SIGINT code.  Checkpointed simulations resume on re-run.
+        sys.stdout.flush()
+        print(
+            f"\ninterrupted: {completed}/{len(ids)} experiment(s) completed",
+            file=sys.stderr,
+        )
+        return 130
+    finally:
+        set_run_options(previous)
     return 0
 
 

@@ -1,0 +1,87 @@
+"""A snooping bus that survives injected transaction faults.
+
+:class:`FaultyBus` consults the shared :class:`FaultInjector` before
+every transaction attempt:
+
+* **Dropped** transactions are retried with exponential backoff
+  (1, 2, 4, … modelled bus slots, counted as ``backoff_cycles``);
+  after ``max_retries`` consecutive drops a :class:`BusFaultError`
+  escapes to the caller — a hard bus failure, not a protocol bug.
+* **Duplicated** transactions complete twice.  The snooping protocol
+  is idempotent at this granularity (a second invalidation finds no
+  copy, a second read-miss is served from the now-clean state), so the
+  duplicate perturbs statistics but not correctness — which the
+  invariant guard verifies.
+* **Delayed** transactions are counted and then complete normally;
+  the atomic-bus model has no timing to perturb, so a delay is pure
+  bookkeeping (it feeds the timing model's contention terms).
+
+The coherence-boundary observer fires exactly once per *logical*
+transaction, after the last attempt, so the invariant guard sees the
+settled state even under duplication.
+"""
+
+from __future__ import annotations
+
+from ..coherence.bus import Bus, MainMemory
+from ..coherence.messages import BusOp, BusResult, BusTransaction
+from ..common.errors import BusFaultError
+from .injector import FaultInjector, FaultKind
+
+
+class FaultyBus(Bus):
+    """Drop-in :class:`Bus` replacement with injected transaction faults."""
+
+    def __init__(
+        self,
+        injector: FaultInjector,
+        memory: MainMemory | None = None,
+        max_retries: int = 8,
+    ) -> None:
+        super().__init__(memory)
+        self.injector = injector
+        self.max_retries = max_retries
+
+    def _faulted(self, op_value: str, pblock: int, action):
+        """Run *action* under the injector's drop/dup/delay decisions."""
+        drops = 0
+        while True:
+            fault = self.injector.bus_fault(op_value, pblock)
+            if fault is FaultKind.DROP_TXN:
+                self.stats.add("faults_dropped")
+                drops += 1
+                if drops > self.max_retries:
+                    raise BusFaultError(
+                        f"{op_value} transaction dropped {drops} times; "
+                        f"retries exhausted",
+                        pblock=pblock,
+                        retries=self.max_retries,
+                    )
+                self.stats.add("retries")
+                self.stats.add("backoff_cycles", 1 << drops)
+                continue
+            if fault is FaultKind.DUP_TXN:
+                self.stats.add("faults_duplicated")
+                result = action()
+                action()
+                return result
+            if fault is FaultKind.DELAY_TXN:
+                self.stats.add("faults_delayed")
+            return action()
+
+    def issue(self, txn: BusTransaction) -> BusResult:
+        """As :meth:`Bus.issue`, under injected transaction faults."""
+        result = self._faulted(
+            txn.op.value, txn.pblock, lambda: self._complete(txn)
+        )
+        if self.observer is not None:
+            self.observer(txn)
+        return result
+
+    def write_back(self, pblock: int, version: int) -> None:
+        """As :meth:`Bus.write_back`, under injected transaction faults."""
+
+        def action() -> None:
+            Bus.write_back(self, pblock, version)
+
+        self._faulted(BusOp.WRITE_BACK.value, pblock, action)

@@ -1,0 +1,299 @@
+"""Checkpoint/resume for long trace replays.
+
+A checkpoint is a pickle of every piece of mutable simulation state —
+tag stores (including replacement-policy order), subentry metadata,
+TLB contents in LRU order, write buffers, statistics counters, the
+version-stamped memory image, the global version counter, and the
+trace position — plus an optional *key* identifying the run
+configuration, so a checkpoint is never resumed into a different
+experiment.
+
+Because the simulator is deterministic, restoring all of that and
+replaying the remaining records produces results bit-identical to an
+uninterrupted run; ``tests/test_faults.py`` kills a run mid-trace and
+proves it.
+
+Files are written atomically (temp file + ``os.replace``) so an
+interruption during the save leaves the previous checkpoint intact.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from collections.abc import Callable, Sequence
+from typing import Any
+
+from ..cache.block import CacheBlock
+from ..cache.tagstore import TagStore
+from ..common.errors import CheckpointError
+from ..hierarchy.rcache import RCacheBlock, SubEntry
+from ..hierarchy.twolevel import TwoLevelHierarchy
+from ..system.multiprocessor import Multiprocessor, SimulationResult
+from ..trace.record import TraceCursor, TraceRecord
+
+FORMAT = "repro-checkpoint"
+VERSION = 1
+
+
+# -- per-component snapshots ---------------------------------------------------
+
+
+def _export_block(block: CacheBlock) -> tuple:
+    return (
+        block.valid,
+        block.swapped_valid,
+        block.dirty,
+        block.tag,
+        block.r_pointer,
+        block.version,
+    )
+
+
+def _restore_block(block: CacheBlock, state: tuple) -> None:
+    (
+        block.valid,
+        block.swapped_valid,
+        block.dirty,
+        block.tag,
+        block.r_pointer,
+        block.version,
+    ) = state
+
+
+def _export_sub(sub: SubEntry) -> tuple:
+    return (
+        sub.valid,
+        sub.inclusion,
+        sub.buffer,
+        sub.state,
+        sub.vdirty,
+        sub.rdirty,
+        sub.v_pointer,
+        sub.version,
+    )
+
+
+def _restore_sub(sub: SubEntry, state: tuple) -> None:
+    (
+        sub.valid,
+        sub.inclusion,
+        sub.buffer,
+        sub.state,
+        sub.vdirty,
+        sub.rdirty,
+        sub.v_pointer,
+        sub.version,
+    ) = state
+
+
+def _export_store(store: TagStore) -> dict:
+    blocks = []
+    for set_index in range(store.config.n_sets):
+        for block in store.ways(set_index):
+            entry: dict[str, Any] = {"block": _export_block(block)}
+            if isinstance(block, RCacheBlock):
+                entry["subentries"] = [_export_sub(s) for s in block.subentries]
+            blocks.append(entry)
+    return {"blocks": blocks, "policy": store.policy.export_state()}
+
+
+def _restore_store(store: TagStore, state: dict) -> None:
+    flat = iter(state["blocks"])
+    for set_index in range(store.config.n_sets):
+        for block in store.ways(set_index):
+            entry = next(flat)
+            _restore_block(block, entry["block"])
+            if isinstance(block, RCacheBlock):
+                for sub, sub_state in zip(block.subentries, entry["subentries"]):
+                    _restore_sub(sub, sub_state)
+    store.policy.restore_state(state["policy"])
+
+
+def export_hierarchy(hier: TwoLevelHierarchy) -> dict:
+    """Snapshot everything mutable in one hierarchy."""
+    # _refs and _last_writeback_ref are the hierarchy's only private
+    # scalars; the checkpointer is the one sanctioned reader.
+    return {
+        "refs": hier._refs,
+        "last_writeback_ref": hier._last_writeback_ref,
+        "counters": hier.stats.counters.export_state(),
+        "writeback_intervals": hier.stats.writeback_intervals.export_state(),
+        "tlb": hier.tlb.export_state(),
+        "write_buffer": hier.write_buffer.export_state(),
+        "l1s": [_export_store(l1.store) for l1 in hier.l1_caches],
+        "l2": _export_store(hier.rcache.store),
+    }
+
+
+def restore_hierarchy(hier: TwoLevelHierarchy, state: dict) -> None:
+    """Restore a hierarchy from :func:`export_hierarchy` output."""
+    if len(state["l1s"]) != len(hier.l1_caches):
+        raise CheckpointError(
+            f"checkpoint has {len(state['l1s'])} level-1 caches, "
+            f"machine has {len(hier.l1_caches)}"
+        )
+    hier._refs = state["refs"]
+    hier._last_writeback_ref = state["last_writeback_ref"]
+    hier.stats.counters.restore_state(state["counters"])
+    hier.stats.writeback_intervals.restore_state(state["writeback_intervals"])
+    hier.tlb.restore_state(state["tlb"])
+    hier.write_buffer.restore_state(state["write_buffer"])
+    for l1, l1_state in zip(hier.l1_caches, state["l1s"]):
+        _restore_store(l1.store, l1_state)
+    _restore_store(hier.rcache.store, state["l2"])
+
+
+def export_machine(
+    machine: Multiprocessor,
+    position: int,
+    refs: int,
+    key: tuple | None = None,
+    injector: Any = None,
+    guard: Any = None,
+) -> dict:
+    """Snapshot a whole machine plus the trace position."""
+    state = {
+        "format": FORMAT,
+        "version": VERSION,
+        "key": key,
+        "position": position,
+        "refs": refs,
+        "next_version": machine.version_counter.next_value,
+        "memory": machine.bus.memory.export_state(),
+        "bus_stats": machine.bus.stats.export_state(),
+        "hierarchies": [export_hierarchy(h) for h in machine.hierarchies],
+    }
+    if injector is not None:
+        state["injector"] = injector.export_state()
+    if guard is not None:
+        state["guard"] = guard.export_state()
+    return state
+
+
+def restore_machine(
+    machine: Multiprocessor,
+    state: dict,
+    injector: Any = None,
+    guard: Any = None,
+) -> tuple[int, int]:
+    """Restore *machine* in place; returns (trace position, refs done)."""
+    if len(state["hierarchies"]) != machine.n_cpus:
+        raise CheckpointError(
+            f"checkpoint has {len(state['hierarchies'])} CPUs, "
+            f"machine has {machine.n_cpus}"
+        )
+    machine.version_counter.next_value = state["next_version"]
+    machine.bus.memory.restore_state(state["memory"])
+    machine.bus.stats.restore_state(state["bus_stats"])
+    for hier, hier_state in zip(machine.hierarchies, state["hierarchies"]):
+        restore_hierarchy(hier, hier_state)
+    if injector is not None and "injector" in state:
+        injector.restore_state(state["injector"])
+    if guard is not None and "guard" in state:
+        guard.restore_state(state["guard"])
+    return state["position"], state["refs"]
+
+
+# -- files -------------------------------------------------------------------
+
+
+def save_checkpoint(path: str, state: dict) -> None:
+    """Write *state* atomically (temp file + rename)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    tmp = os.path.join(directory, f".{os.path.basename(path)}.tmp")
+    try:
+        with open(tmp, "wb") as handle:
+            pickle.dump(state, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+    except OSError as exc:
+        raise CheckpointError(f"cannot write checkpoint {path}: {exc}") from exc
+    finally:
+        if os.path.exists(tmp):
+            os.remove(tmp)
+
+
+def load_checkpoint(path: str) -> dict:
+    """Read and validate a checkpoint file."""
+    try:
+        with open(path, "rb") as handle:
+            state = pickle.load(handle)
+    except (OSError, pickle.UnpicklingError, EOFError) as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+    if not isinstance(state, dict) or state.get("format") != FORMAT:
+        raise CheckpointError(f"{path} is not a repro checkpoint")
+    if state.get("version") != VERSION:
+        raise CheckpointError(
+            f"checkpoint version {state.get('version')} unsupported "
+            f"(expected {VERSION})"
+        )
+    return state
+
+
+# -- the resumable driver -------------------------------------------------------
+
+
+def run_checkpointed(
+    machine: Multiprocessor,
+    records: Sequence[TraceRecord],
+    path: str,
+    key: tuple | None = None,
+    chunk: int = 50_000,
+    check_values: bool = False,
+    injector: Any = None,
+    guard: Any = None,
+    on_chunk: Callable[[int], None] | None = None,
+) -> SimulationResult:
+    """Replay *records* with a checkpoint after every *chunk* records.
+
+    If *path* exists, the run resumes from it (validating *key*, a
+    tuple identifying the experiment configuration, against the saved
+    one).  On successful completion the checkpoint file is deleted.
+    *on_chunk* is called with the trace position after each saved
+    chunk — the test suite uses it to kill the run mid-trace.
+    """
+    if chunk < 1:
+        raise CheckpointError(f"chunk must be >= 1, got {chunk}")
+    position = 0
+    refs_done = 0
+    if os.path.exists(path):
+        state = load_checkpoint(path)
+        if key is not None and tuple(state["key"]) != tuple(key):
+            raise CheckpointError(
+                f"checkpoint {path} belongs to a different run: "
+                f"{state['key']} != {key}"
+            )
+        position, refs_done = restore_machine(
+            machine, state, injector=injector, guard=guard
+        )
+    cursor = TraceCursor(records, position)
+    while not cursor.exhausted:
+        batch = cursor.take(chunk)
+        result = machine.run(
+            batch,
+            check_values=check_values,
+            injector=injector,
+            guard=guard,
+            ref_offset=refs_done,
+        )
+        refs_done += result.refs_processed
+        save_checkpoint(
+            path,
+            export_machine(
+                machine,
+                cursor.position,
+                refs_done,
+                key=key,
+                injector=injector,
+                guard=guard,
+            ),
+        )
+        if on_chunk is not None:
+            on_chunk(cursor.position)
+    if os.path.exists(path):
+        os.remove(path)
+    return SimulationResult(
+        per_cpu=[hier.stats for hier in machine.hierarchies],
+        bus_transactions=machine.bus.stats.as_dict(),
+        refs_processed=refs_done,
+    )

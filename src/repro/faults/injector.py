@@ -1,0 +1,306 @@
+"""Seeded, deterministic fault injection for cache-hierarchy metadata.
+
+The paper's organisation lives or dies by a web of small metadata
+fields — inclusion bits, v-/r-pointers, dirty bits, TLB entries — so
+those are exactly what the injector corrupts.  Faults come in two
+families:
+
+* **Metadata faults** mutate a hierarchy's tag-store or TLB state in
+  place (a simulated bit-flip).  They are applied between accesses by
+  :meth:`FaultInjector.tick`.
+* **Bus faults** drop, duplicate or delay coherence transactions.
+  They are consulted per transaction attempt by the fault-injecting
+  bus (``repro.faults.bus.FaultyBus``).
+
+Determinism: the injector draws from one seeded
+:class:`random.Random`, consuming draws in a fixed order (sorted fault
+kinds, then target choice).  Because the simulation itself is
+deterministic, the same seed and fault configuration produce an
+identical fault schedule — :attr:`FaultInjector.events` — on every
+run, which the test suite verifies.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from ..common.errors import ConfigurationError
+from ..common.stats import CounterBag
+from ..hierarchy.twolevel import TwoLevelHierarchy
+
+
+class FaultKind(enum.Enum):
+    """The corruptions the injector can apply."""
+
+    # Metadata bit-flips and pointer corruption.
+    FLIP_INCLUSION = "flip-inclusion"
+    FLIP_VDIRTY = "flip-vdirty"
+    FLIP_L1_DIRTY = "flip-l1-dirty"
+    FLIP_SWAPPED_VALID = "flip-swapped-valid"
+    CORRUPT_V_POINTER = "corrupt-v-pointer"
+    CORRUPT_R_POINTER = "corrupt-r-pointer"
+    CORRUPT_TLB = "corrupt-tlb"
+    # Bus transaction faults.
+    DROP_TXN = "drop-txn"
+    DUP_TXN = "dup-txn"
+    DELAY_TXN = "delay-txn"
+
+    @property
+    def is_bus(self) -> bool:
+        """True for faults applied to bus transactions."""
+        return self in _BUS_KINDS
+
+
+_BUS_KINDS = frozenset(
+    {FaultKind.DROP_TXN, FaultKind.DUP_TXN, FaultKind.DELAY_TXN}
+)
+#: Metadata kinds in the deterministic draw order.
+METADATA_KINDS = tuple(
+    k for k in sorted(FaultKind, key=lambda k: k.value) if not k.is_bus
+)
+#: Bus kinds in the deterministic draw order.
+BUS_KINDS = tuple(k for k in sorted(FaultKind, key=lambda k: k.value) if k.is_bus)
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """What to inject, how often, and with which seed.
+
+    Attributes:
+        probabilities: per-access (metadata kinds) or per-transaction
+            (bus kinds) injection probability for each fault kind.
+        schedule: forced injections as ``(access_index, kind)`` pairs —
+            the fault fires just before that memory reference,
+            regardless of probabilities.  Bus kinds cannot be
+            scheduled by access index.
+        seed: seed of the injector's private RNG.
+    """
+
+    probabilities: Mapping[FaultKind, float] = field(default_factory=dict)
+    schedule: tuple[tuple[int, FaultKind], ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for kind, prob in self.probabilities.items():
+            if not isinstance(kind, FaultKind):
+                raise ConfigurationError(f"not a FaultKind: {kind!r}")
+            if not 0.0 <= prob <= 1.0:
+                raise ConfigurationError(
+                    f"probability for {kind.value} must be in [0, 1]: {prob}"
+                )
+        for index, kind in self.schedule:
+            if kind.is_bus:
+                raise ConfigurationError(
+                    f"bus fault {kind.value} cannot be scheduled by access index"
+                )
+            if index < 1:
+                raise ConfigurationError(
+                    f"scheduled access index must be >= 1, got {index}"
+                )
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault, for the deterministic schedule log.
+
+    Attributes:
+        access_index: memory reference before which the fault fired
+            (0 for bus faults, which are keyed by transaction order).
+        kind: what was injected.
+        detail: target description, e.g. ``"l2[3,1,0]"`` or
+            ``"txn read-miss 0x40"``.
+    """
+
+    access_index: int
+    kind: FaultKind
+    detail: str
+
+
+class FaultInjector:
+    """Applies a :class:`FaultConfig` to a running simulation.
+
+    One injector serves one machine (any number of hierarchies); the
+    caller threads it through ``Multiprocessor.run(injector=...)`` and
+    builds the bus as a ``FaultyBus`` sharing the same injector.
+    """
+
+    def __init__(self, config: FaultConfig) -> None:
+        self.config = config
+        self.events: list[FaultEvent] = []
+        self.stats = CounterBag()
+        self._rng = random.Random(config.seed)
+        self._metadata_kinds = tuple(
+            k for k in METADATA_KINDS if config.probabilities.get(k, 0.0) > 0.0
+        )
+        self._bus_kinds = tuple(
+            k for k in BUS_KINDS if config.probabilities.get(k, 0.0) > 0.0
+        )
+        self._scheduled: dict[int, list[FaultKind]] = {}
+        for index, kind in config.schedule:
+            self._scheduled.setdefault(index, []).append(kind)
+
+    # -- per-access metadata faults -----------------------------------------
+
+    def tick(self, hier: TwoLevelHierarchy, access_index: int) -> None:
+        """Decide and apply metadata faults before one access."""
+        for kind in self._scheduled.get(access_index, ()):
+            self._apply(hier, access_index, kind)
+        for kind in self._metadata_kinds:
+            if self._rng.random() < self.config.probabilities[kind]:
+                self._apply(hier, access_index, kind)
+
+    # -- per-transaction bus faults -------------------------------------------
+
+    def bus_fault(self, op_value: str, pblock: int) -> FaultKind | None:
+        """Decide one bus fault for a transaction attempt (or None)."""
+        for kind in self._bus_kinds:
+            if self._rng.random() < self.config.probabilities[kind]:
+                self._record(0, kind, f"txn {op_value} {pblock:#x}")
+                return kind
+        return None
+
+    # -- fault application ------------------------------------------------------
+
+    def _record(self, access_index: int, kind: FaultKind, detail: str) -> None:
+        self.events.append(FaultEvent(access_index, kind, detail))
+        self.stats.add(f"injected_{kind.value}")
+
+    def _apply(
+        self, hier: TwoLevelHierarchy, access_index: int, kind: FaultKind
+    ) -> None:
+        applied = {
+            FaultKind.FLIP_INCLUSION: self._flip_inclusion,
+            FaultKind.FLIP_VDIRTY: self._flip_vdirty,
+            FaultKind.FLIP_L1_DIRTY: self._flip_l1_dirty,
+            FaultKind.FLIP_SWAPPED_VALID: self._flip_swapped_valid,
+            FaultKind.CORRUPT_V_POINTER: self._corrupt_v_pointer,
+            FaultKind.CORRUPT_R_POINTER: self._corrupt_r_pointer,
+            FaultKind.CORRUPT_TLB: self._corrupt_tlb,
+        }[kind](hier)
+        if applied is None:
+            self.stats.add(f"no_target_{kind.value}")
+        else:
+            self._record(access_index, kind, applied)
+
+    def _pick_subentry(self, hier: TwoLevelHierarchy, want_child: bool = False):
+        """A random valid subentry as (rblock, index, sub), or None."""
+        candidates = [
+            (rblock, index, sub)
+            for rblock in hier.rcache.blocks()
+            for index, sub in enumerate(rblock.subentries)
+            if sub.valid and (sub.inclusion or not want_child)
+        ]
+        if not candidates:
+            return None
+        return self._rng.choice(candidates)
+
+    def _pick_l1_block(self, hier: TwoLevelHierarchy):
+        """A random present level-1 block as (l1, block), or None."""
+        candidates = [
+            (l1, block)
+            for l1 in hier.l1_caches
+            for block in l1.store.present_blocks()
+        ]
+        if not candidates:
+            return None
+        return self._rng.choice(candidates)
+
+    def _flip_inclusion(self, hier: TwoLevelHierarchy) -> str | None:
+        found = self._pick_subentry(hier)
+        if found is None:
+            return None
+        rblock, index, sub = found
+        sub.inclusion = not sub.inclusion
+        return f"l2[{rblock.set_index},{rblock.way},{index}].inclusion"
+
+    def _flip_vdirty(self, hier: TwoLevelHierarchy) -> str | None:
+        found = self._pick_subentry(hier)
+        if found is None:
+            return None
+        rblock, index, sub = found
+        sub.vdirty = not sub.vdirty
+        return f"l2[{rblock.set_index},{rblock.way},{index}].vdirty"
+
+    def _flip_l1_dirty(self, hier: TwoLevelHierarchy) -> str | None:
+        found = self._pick_l1_block(hier)
+        if found is None:
+            return None
+        l1, block = found
+        block.dirty = not block.dirty
+        return f"{l1.name}[{block.set_index},{block.way}].dirty"
+
+    def _flip_swapped_valid(self, hier: TwoLevelHierarchy) -> str | None:
+        found = self._pick_l1_block(hier)
+        if found is None:
+            return None
+        l1, block = found
+        if block.valid:
+            # Spurious demotion: the processor will miss on it next time.
+            block.valid = False
+            block.swapped_valid = True
+        else:
+            # Spurious resurrection of a swapped-out block.
+            block.swapped_valid = False
+            block.valid = True
+        return f"{l1.name}[{block.set_index},{block.way}].swapped_valid"
+
+    def _corrupt_v_pointer(self, hier: TwoLevelHierarchy) -> str | None:
+        found = self._pick_subentry(hier, want_child=True)
+        if found is None:
+            return None
+        rblock, index, sub = found
+        cache_index = self._rng.randrange(len(hier.l1_caches))
+        config = hier.l1_caches[cache_index].config
+        sub.v_pointer = (
+            cache_index,
+            self._rng.randrange(config.n_sets),
+            self._rng.randrange(config.associativity),
+        )
+        return f"l2[{rblock.set_index},{rblock.way},{index}].v_pointer"
+
+    def _corrupt_r_pointer(self, hier: TwoLevelHierarchy) -> str | None:
+        found = self._pick_l1_block(hier)
+        if found is None:
+            return None
+        l1, block = found
+        config = hier.rcache.config
+        block.r_pointer = (
+            self._rng.randrange(config.n_sets),
+            self._rng.randrange(config.associativity),
+            self._rng.randrange(hier.rcache.n_subentries),
+        )
+        return f"{l1.name}[{block.set_index},{block.way}].r_pointer"
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def export_state(self) -> dict:
+        """Checkpointable snapshot: RNG state, event log, counters."""
+        return {
+            "rng": self._rng.getstate(),
+            "events": [
+                (e.access_index, e.kind.value, e.detail) for e in self.events
+            ],
+            "stats": self.stats.export_state(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Resume injecting exactly where a checkpointed run stopped."""
+        self._rng.setstate(state["rng"])
+        self.events = [
+            FaultEvent(index, FaultKind(kind), detail)
+            for index, kind, detail in state["events"]
+        ]
+        self.stats.restore_state(state["stats"])
+
+    def _corrupt_tlb(self, hier: TwoLevelHierarchy) -> str | None:
+        entries = hier.tlb.entries()
+        if not entries:
+            return None
+        pid, vpage, frame = self._rng.choice(entries)
+        # XOR a random low bit into the frame number — never a no-op.
+        corrupted = frame ^ (1 << self._rng.randrange(8))
+        hier.tlb.poison(pid, vpage, corrupted)
+        return f"tlb[{pid},{vpage:#x}]"

@@ -1,11 +1,19 @@
 """The paper's contribution: two-level virtual-real cache hierarchies."""
 
 from .checker import (
+    Violation,
     check_all,
     check_buffer_bits,
     check_coherence,
     check_pointer_consistency,
     check_single_copy,
+    check_tlb,
+    scan_buffer_bits,
+    scan_hierarchy,
+    scan_l1_set,
+    scan_l2_set,
+    scan_single_copy,
+    scan_tlb,
 )
 from .config import (
     HierarchyConfig,
@@ -32,10 +40,18 @@ __all__ = [
     "SingleLevelCache",
     "SubEntry",
     "TwoLevelHierarchy",
+    "Violation",
     "check_all",
     "check_buffer_bits",
     "check_coherence",
     "check_pointer_consistency",
     "check_single_copy",
+    "check_tlb",
     "min_l2_associativity_for_strict_inclusion",
+    "scan_buffer_bits",
+    "scan_hierarchy",
+    "scan_l1_set",
+    "scan_l2_set",
+    "scan_single_copy",
+    "scan_tlb",
 ]

@@ -35,7 +35,7 @@ from ..cache.write_buffer import WriteBuffer, WriteBufferEntry
 from ..coherence.bus import Bus
 from ..coherence.messages import BusOp, BusTransaction, SnoopReply
 from ..coherence.protocol import ShareState, WritePolicy
-from ..common.errors import ProtocolError
+from ..common.errors import InclusionError, ProtocolError
 from ..mmu.address_space import MemoryLayout
 from ..mmu.tlb import TLB
 from ..trace.record import RefKind
@@ -186,6 +186,29 @@ class TwoLevelHierarchy:
             self._drain_one()
             drained += 1
         return drained
+
+    def _child_of(self, sub: SubEntry, pblock: int) -> CacheBlock:
+        """Dereference a subentry's v-pointer, validating the linkage.
+
+        Raises :class:`InclusionError` (with the current access index
+        and the physical block) instead of crashing when the pointer
+        metadata is corrupt — the error surfaces as a library fault
+        that a guard policy can catch and repair.
+        """
+        if sub.v_pointer is None:
+            raise InclusionError(
+                "inclusion bit set without a v-pointer",
+                access_index=self._refs,
+                pblock=pblock,
+            )
+        cache_index = sub.v_pointer[0]
+        if not 0 <= cache_index < len(self._l1s):
+            raise InclusionError(
+                f"v-pointer {sub.v_pointer} names a nonexistent level-1 cache",
+                access_index=self._refs,
+                pblock=pblock,
+            )
+        return self._l1s[cache_index].block_at(sub.v_pointer)
 
     # -- level-1 hit path -----------------------------------------------------
 
@@ -349,8 +372,7 @@ class TwoLevelHierarchy:
             # A synonym copy lives in the V-cache under another
             # virtual name: refresh it in place so it stays coherent
             # with the written-through data.
-            assert sub.v_pointer is not None
-            child = self._l1s[sub.v_pointer[0]].block_at(sub.v_pointer)
+            child = self._child_of(sub, pblock)
             child.version = version
             self.stats.counters.add("wt_synonym_updates")
         self._publish_write_through(sub, pblock, version)
@@ -377,9 +399,8 @@ class TwoLevelHierarchy:
         r_slot = (rblock.set_index, rblock.way, sub_index)
 
         if sub.inclusion:
-            assert sub.v_pointer is not None
-            child_l1 = self._l1s[sub.v_pointer[0]]
-            child = child_l1.block_at(sub.v_pointer)
+            child = self._child_of(sub, pblock)
+            child_l1 = self._l1s[sub.v_pointer[0]]  # type: ignore[index]
             child_was_valid = child.valid
             if child_l1 is l1 and child.set_index == new_set:
                 # Paper's *sameset*: the copy is already in the right
@@ -409,7 +430,9 @@ class TwoLevelHierarchy:
                 entry = self.write_buffer.find(pblock)
                 if entry is None:
                     raise ProtocolError(
-                        f"buffer bit set but no entry for {pblock:#x}"
+                        "buffer bit set but no write-buffer entry",
+                        access_index=self._refs,
+                        pblock=pblock,
                     )
                 victim = l1.victim(key)
                 self._evict_l1(l1, victim)
@@ -425,7 +448,9 @@ class TwoLevelHierarchy:
             entry = self.write_buffer.remove(pblock)
             if entry is None:
                 raise ProtocolError(
-                    f"buffer bit set but no write-buffer entry for {pblock:#x}"
+                    "buffer bit set but no write-buffer entry",
+                    access_index=self._refs,
+                    pblock=pblock,
                 )
             victim = l1.victim(key)
             self._evict_l1(l1, victim)
@@ -531,7 +556,9 @@ class TwoLevelHierarchy:
             return
         if self._inclusion:
             raise ProtocolError(
-                f"write-buffer entry {entry.pblock:#x} has no level-2 parent"
+                "write-buffer entry has no level-2 parent",
+                access_index=self._refs,
+                pblock=entry.pblock,
             )
         self.bus.write_back(entry.pblock, entry.version)
 
@@ -562,7 +589,12 @@ class TwoLevelHierarchy:
                 else BusOp.READ_MISS
             )
             result = self.bus.issue(BusTransaction(op, self.cpu, pblock_i))
-            assert result.version is not None
+            if result.version is None:
+                raise ProtocolError(
+                    f"{op.value} returned no data version",
+                    access_index=self._refs,
+                    pblock=pblock_i,
+                )
             sub = victim.subentries[i]
             # A read-modified-write invalidates every other copy, so
             # the block arrives exclusive regardless of prior sharers.
@@ -580,8 +612,7 @@ class TwoLevelHierarchy:
                 continue
             pblock = self.rcache.pblock_of(rblock, index)
             if sub.inclusion:
-                assert sub.v_pointer is not None
-                child = self._l1s[sub.v_pointer[0]].block_at(sub.v_pointer)
+                child = self._child_of(sub, pblock)
                 self.stats.counters.add("l1_inclusion_invalidations")
                 if child.dirty:
                     self.bus.write_back(pblock, child.version)
@@ -592,7 +623,9 @@ class TwoLevelHierarchy:
                 entry = self.write_buffer.remove(pblock)
                 if entry is None:
                     raise ProtocolError(
-                        f"buffer bit set but no entry for {pblock:#x}"
+                        "buffer bit set but no write-buffer entry",
+                        access_index=self._refs,
+                        pblock=pblock,
                     )
                 self.bus.write_back(pblock, entry.version)
             elif sub.rdirty:
@@ -618,7 +651,12 @@ class TwoLevelHierarchy:
         op = txn.op
 
         if op is BusOp.WRITE_UPDATE:
-            assert txn.version is not None
+            if txn.version is None:
+                raise ProtocolError(
+                    "write-update snooped without a data version",
+                    access_index=self._refs,
+                    pblock=txn.pblock,
+                )
             if sub.buffer and self._write_through:
                 # Pending write-through data is not ownership: merge
                 # the remote update into the queued entry.
@@ -627,22 +665,22 @@ class TwoLevelHierarchy:
                     pending.version = txn.version
             elif sub.dirty_anywhere:
                 raise ProtocolError(
-                    f"write-update for block {txn.pblock:#x} held dirty; "
-                    "updates only target clean shared copies"
+                    "write-update for a block held dirty; updates only "
+                    "target clean shared copies",
+                    access_index=self._refs,
+                    pblock=txn.pblock,
                 )
             sub.version = txn.version
             sub.state = ShareState.SHARED
             if sub.inclusion:
-                assert sub.v_pointer is not None
-                child = self._l1s[sub.v_pointer[0]].block_at(sub.v_pointer)
+                child = self._child_of(sub, txn.pblock)
                 child.version = txn.version
                 self.stats.counters.add("l1_coherence_updates")
             return reply
 
         if op in (BusOp.READ_MISS, BusOp.READ_MODIFIED_WRITE):
             if sub.vdirty:
-                assert sub.v_pointer is not None
-                child = self._l1s[sub.v_pointer[0]].block_at(sub.v_pointer)
+                child = self._child_of(sub, txn.pblock)
                 self.stats.counters.add("l1_coherence_flushes")
                 reply.supplied_version = child.version
                 sub.version = child.version
@@ -653,7 +691,9 @@ class TwoLevelHierarchy:
                 entry = self.write_buffer.remove(txn.pblock)
                 if entry is None:
                     raise ProtocolError(
-                        f"buffer bit set but no entry for {txn.pblock:#x}"
+                        "buffer bit set but no write-buffer entry",
+                        access_index=self._refs,
+                        pblock=txn.pblock,
                     )
                 self.stats.counters.add("l1_coherence_buffer_ops")
                 reply.supplied_version = entry.version
@@ -668,12 +708,13 @@ class TwoLevelHierarchy:
         if op in (BusOp.INVALIDATE, BusOp.READ_MODIFIED_WRITE):
             if op is BusOp.INVALIDATE and sub.dirty_anywhere:
                 raise ProtocolError(
-                    f"invalidation for block {txn.pblock:#x} held dirty; "
-                    "the writer should have issued a read-modified-write"
+                    "invalidation for a block held dirty; the writer "
+                    "should have issued a read-modified-write",
+                    access_index=self._refs,
+                    pblock=txn.pblock,
                 )
             if sub.inclusion:
-                assert sub.v_pointer is not None
-                child = self._l1s[sub.v_pointer[0]].block_at(sub.v_pointer)
+                child = self._child_of(sub, txn.pblock)
                 child.invalidate()
                 self.stats.counters.add("l1_coherence_invalidations")
             sub.reset()
@@ -699,7 +740,12 @@ class TwoLevelHierarchy:
         op = txn.op
 
         if op is BusOp.WRITE_UPDATE:
-            assert txn.version is not None
+            if txn.version is None:
+                raise ProtocolError(
+                    "write-update snooped without a data version",
+                    access_index=self._refs,
+                    pblock=txn.pblock,
+                )
             if buffer_entry is not None and self._write_through:
                 buffer_entry.version = txn.version
             else:
@@ -710,7 +756,9 @@ class TwoLevelHierarchy:
                 )
                 if held_dirty:
                     raise ProtocolError(
-                        f"write-update for block {txn.pblock:#x} held dirty"
+                        "write-update for a block held dirty",
+                        access_index=self._refs,
+                        pblock=txn.pblock,
                     )
             for _, block in l1_hits:
                 block.version = txn.version
@@ -749,7 +797,9 @@ class TwoLevelHierarchy:
                 )
                 if held_dirty:
                     raise ProtocolError(
-                        f"invalidation for block {txn.pblock:#x} held dirty"
+                        "invalidation for a block held dirty",
+                        access_index=self._refs,
+                        pblock=txn.pblock,
                     )
             for _, block in l1_hits:
                 block.invalidate()

@@ -100,3 +100,59 @@ class TLB:
         for entry_set in self._sets:
             keys.extend(entry_set)
         return sorted(keys)
+
+    # -- fault injection and scrubbing ---------------------------------------
+
+    def entries(self) -> list[tuple[int, int, int]]:
+        """Every resident (pid, vpage, frame) triple, sorted.
+
+        Used by the fault injector to choose corruption targets and by
+        the invariant guard to cross-check cached translations against
+        the page tables.
+        """
+        out: list[tuple[int, int, int]] = []
+        for entry_set in self._sets:
+            out.extend((pid, vpage, frame) for (pid, vpage), frame in entry_set.items())
+        return sorted(out)
+
+    def poison(self, pid: int, vpage: int, frame: int) -> bool:
+        """Overwrite a resident entry's frame in place (fault injection).
+
+        Returns False when (pid, vpage) is not resident.  No counters
+        are touched: a real bit-flip leaves no statistical trace.
+        """
+        entry_set = self._set_for(vpage)
+        key = (pid, vpage)
+        if key not in entry_set:
+            return False
+        entry_set[key] = frame
+        return True
+
+    def scrub(self, pid: int, vpage: int) -> bool:
+        """Drop one entry (recovery path for a detected corruption).
+
+        Returns True when the entry was resident.  The next access
+        re-walks the page table, restoring the correct mapping.
+        """
+        entry_set = self._set_for(vpage)
+        if entry_set.pop((pid, vpage), None) is None:
+            return False
+        self.stats.add("scrubbed_entries")
+        return True
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def export_state(self) -> dict:
+        """Checkpointable snapshot of contents (LRU order) and stats."""
+        return {
+            "sets": [list(entry_set.items()) for entry_set in self._sets],
+            "stats": self.stats.export_state(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Replace TLB contents (including LRU order) with a snapshot's."""
+        self._sets = [
+            OrderedDict((tuple(key), frame) for key, frame in entries)
+            for entries in state["sets"]
+        ]
+        self.stats.restore_state(state["stats"])

@@ -21,7 +21,7 @@ from __future__ import annotations
 from ..cache.config import CacheConfig
 from ..coherence.bus import Bus
 from ..coherence.messages import BusOp, BusTransaction, SnoopReply
-from ..common.errors import ConfigurationError
+from ..common.errors import ConfigurationError, ProtocolError
 from ..common.stats import CounterBag
 
 
@@ -74,7 +74,10 @@ class DMAEngine:
             result = self.bus.issue(
                 BusTransaction(BusOp.READ_MISS, self.port, pblock)
             )
-            assert result.version is not None
+            if result.version is None:
+                raise ProtocolError(
+                    "DMA read-miss returned no data version", pblock=pblock
+                )
             versions.append(result.version)
             self.stats.add("blocks_read")
         self.stats.add("reads")

@@ -10,17 +10,36 @@ context switches and write buffers.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from collections.abc import Iterable
+from typing import Any
 
 from ..coherence.bus import Bus, MainMemory
-from ..common.errors import ProtocolError
+from ..common.errors import InclusionError, ProtocolError
 from ..hierarchy.config import HierarchyConfig
 from ..hierarchy.stats import HierarchyStats
 from ..hierarchy.twolevel import TwoLevelHierarchy
 from ..mmu.address_space import MemoryLayout
 from ..trace.record import RefKind, TraceRecord
+
+
+class VersionCounter:
+    """Monotonic write-version source shared by all hierarchies.
+
+    Functionally ``itertools.count(1).__next__``, but with the next
+    value exposed as a plain attribute so checkpoints can capture and
+    restore it exactly.
+    """
+
+    __slots__ = ("next_value",)
+
+    def __init__(self, start: int = 1) -> None:
+        self.next_value = start
+
+    def __call__(self) -> int:
+        value = self.next_value
+        self.next_value += 1
+        return value
 
 
 @dataclass
@@ -75,17 +94,18 @@ class Multiprocessor:
         n_cpus: int,
         config: HierarchyConfig,
         seed: int = 0,
+        bus: Bus | None = None,
     ) -> None:
         self.layout = layout
         self.config = config
-        self.bus = Bus(MainMemory())
-        self._version_counter = itertools.count(1)
+        self.bus = bus if bus is not None else Bus(MainMemory())
+        self.version_counter = VersionCounter()
         self.hierarchies = [
             TwoLevelHierarchy(
                 config,
                 layout,
                 self.bus,
-                next_version=self._version_counter.__next__,
+                next_version=self.version_counter,
                 seed=seed + cpu * 97,
             )
             for cpu in range(n_cpus)
@@ -101,6 +121,9 @@ class Multiprocessor:
         records: Iterable[TraceRecord],
         check_values: bool = False,
         max_refs: int | None = None,
+        injector: Any = None,
+        guard: Any = None,
+        ref_offset: int = 0,
     ) -> SimulationResult:
         """Replay *records* through the machine.
 
@@ -109,7 +132,23 @@ class Multiprocessor:
         a mismatch raises :class:`ProtocolError`, making this the
         strongest end-to-end coherence check in the test suite.
         *max_refs* stops the run after that many memory references.
+
+        *injector* (a ``repro.faults.FaultInjector``) is consulted
+        before every access to flip metadata bits; *guard* (a
+        ``repro.faults.InvariantGuard``) is consulted after every
+        access and may repair corruption and replay the access.  Both
+        are duck-typed here so the system layer carries no dependency
+        on the faults package.  Combining ``check_values`` with a
+        repairing guard is unsupported: a repair that discards dirty
+        data legitimately changes observed versions.
+
+        *ref_offset* biases the access indices reported to the
+        injector and guard — a resumed checkpointed run passes the
+        number of references already replayed so scheduled faults and
+        check pacing see absolute indices.
         """
+        if guard is not None:
+            guard.watch(self.bus, self.hierarchies)
         oracle: dict[int, int] = {}
         block_bits = self.config.l1.block_bits
         refs = 0
@@ -123,8 +162,29 @@ class Multiprocessor:
                 continue
             if not kind.is_memory:
                 continue
-            result = hier.access(record.pid, record.vaddr, kind)
+            if injector is not None:
+                injector.tick(hier, ref_offset + refs + 1)
+            try:
+                result = hier.access(record.pid, record.vaddr, kind)
+            except (InclusionError, ProtocolError):
+                # Injected corruption tripped the hierarchy's own
+                # validation before the guard's next check; a repairing
+                # guard sweeps, repairs and replays.
+                if guard is None:
+                    raise
+                recovered = guard.on_access_error(
+                    hier, record.pid, record.vaddr, kind, ref_offset + refs + 1
+                )
+                if recovered is None:
+                    raise
+                result = recovered
             refs += 1
+            if guard is not None:
+                replay = guard.after_access(
+                    hier, record.pid, record.vaddr, kind, ref_offset + refs
+                )
+                if replay is not None:
+                    result = replay
             if check_values:
                 paddr = self.layout.translate(record.pid, record.vaddr)
                 pblock = paddr >> block_bits

@@ -1,7 +1,7 @@
 """Trace substrate: records, synthetic generation, surrogates, I/O."""
 
 from .analyze import CallWriteProfile, TraceSummary, profile_call_writes, summarize
-from .record import RefKind, TraceRecord
+from .record import RefKind, TraceCursor, TraceRecord
 from .reuse import ReuseDistanceProfile, profile_reuse_distances
 from .synthetic import CALL_WRITE_WEIGHTS, SyntheticWorkload, WorkloadSpec
 from .textio import dump, load, parse_line
@@ -25,6 +25,7 @@ __all__ = [
     "ReuseDistanceProfile",
     "SyntheticWorkload",
     "THOR",
+    "TraceCursor",
     "TraceRecord",
     "TraceSummary",
     "WorkloadSpec",

@@ -64,3 +64,46 @@ class TraceRecord:
 
     def __str__(self) -> str:
         return f"{self.cpu} {self.pid} {self.kind.value} {self.vaddr:x}"
+
+
+class TraceCursor:
+    """A resumable position over a materialised trace.
+
+    Checkpointed replays need to know exactly how many *records* (not
+    just memory references — context-switch and call markers count
+    too) the machine has consumed, so an interrupted run can continue
+    from the same record.  The cursor owns that position and hands out
+    bounded chunks::
+
+        cursor = TraceCursor(records, position=checkpoint["position"])
+        while (chunk := cursor.take(50_000)):
+            machine.run(chunk)
+    """
+
+    __slots__ = ("records", "position")
+
+    def __init__(self, records: "list[TraceRecord]", position: int = 0) -> None:
+        if position < 0 or position > len(records):
+            raise ValueError(
+                f"position {position} outside trace of {len(records)} records"
+            )
+        self.records = records
+        self.position = position
+
+    @property
+    def exhausted(self) -> bool:
+        """True when every record has been handed out."""
+        return self.position >= len(self.records)
+
+    @property
+    def remaining(self) -> int:
+        """Records not yet handed out."""
+        return len(self.records) - self.position
+
+    def take(self, n: int) -> "list[TraceRecord]":
+        """The next at-most-*n* records; advances the position."""
+        if n < 1:
+            raise ValueError(f"chunk size must be >= 1, got {n}")
+        chunk = self.records[self.position : self.position + n]
+        self.position += len(chunk)
+        return chunk

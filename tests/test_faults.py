@@ -1,0 +1,369 @@
+"""Tests for fault injection, the invariant guard, and checkpointing."""
+
+import os
+import pickle
+
+import pytest
+
+from repro.common.errors import (
+    BusFaultError,
+    CheckpointError,
+    ConfigurationError,
+    IntegrityError,
+)
+from repro.faults import (
+    FaultConfig,
+    FaultInjector,
+    FaultKind,
+    FaultyBus,
+    GuardedHierarchy,
+    GuardPolicy,
+    InvariantGuard,
+    load_checkpoint,
+    run_checkpointed,
+    save_checkpoint,
+)
+from repro.hierarchy.checker import check_all
+from repro.hierarchy.config import HierarchyConfig
+from repro.system.multiprocessor import Multiprocessor
+from repro.trace.record import RefKind, TraceRecord
+from repro.trace.synthetic import SyntheticWorkload
+from tests.conftest import tiny_spec
+
+#: The metadata fault mix the determinism and repair tests inject.
+METADATA_MIX = {
+    FaultKind.FLIP_INCLUSION: 1e-3,
+    FaultKind.FLIP_VDIRTY: 1e-3,
+    FaultKind.FLIP_L1_DIRTY: 1e-3,
+    FaultKind.CORRUPT_V_POINTER: 1e-3,
+    FaultKind.CORRUPT_TLB: 1e-3,
+}
+
+
+def faulty_machine(
+    workload,
+    probabilities,
+    seed=7,
+    policy=GuardPolicy.REPAIR,
+    check_every=100,
+    **guard_kwargs,
+):
+    """A two-CPU machine with a fault-injecting bus and a guard."""
+    injector = FaultInjector(FaultConfig(probabilities=probabilities, seed=seed))
+    bus = FaultyBus(injector)
+    config = HierarchyConfig.sized("1K", "8K")
+    machine = Multiprocessor(
+        workload.layout, workload.spec.n_cpus, config, bus=bus
+    )
+    guard = InvariantGuard(policy, check_every=check_every, **guard_kwargs)
+    return machine, injector, guard
+
+
+class TestFaultConfig:
+    def test_rejects_probability_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            FaultConfig(probabilities={FaultKind.FLIP_VDIRTY: 1.5})
+
+    def test_rejects_scheduled_bus_fault(self):
+        with pytest.raises(ConfigurationError):
+            FaultConfig(schedule=((10, FaultKind.DROP_TXN),))
+
+    def test_rejects_nonpositive_schedule_index(self):
+        with pytest.raises(ConfigurationError):
+            FaultConfig(schedule=((0, FaultKind.FLIP_INCLUSION),))
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule_and_stats(self, tiny_workload):
+        """Satellite 3: identical seed + config => identical fault
+        schedule and identical post-repair statistics."""
+        records = tiny_workload.records()
+        outcomes = []
+        for _ in range(2):
+            machine, injector, guard = faulty_machine(
+                tiny_workload, METADATA_MIX
+            )
+            result = machine.run(records, injector=injector, guard=guard)
+            outcomes.append(
+                (
+                    injector.events,
+                    injector.stats.as_dict(),
+                    [h.counters.as_dict() for h in result.per_cpu],
+                    machine.bus.stats.as_dict(),
+                )
+            )
+        assert outcomes[0] == outcomes[1]
+        assert outcomes[0][0], "expected at least one injected fault"
+
+    def test_different_seed_different_schedule(self, tiny_workload):
+        records = tiny_workload.records()
+        events = []
+        for seed in (1, 2):
+            machine, injector, guard = faulty_machine(
+                tiny_workload, METADATA_MIX, seed=seed
+            )
+            machine.run(records, injector=injector, guard=guard)
+            events.append(injector.events)
+        assert events[0] != events[1]
+
+
+class TestRepairPolicy:
+    def test_miss_ratio_within_one_percent_of_fault_free(self, tiny_workload):
+        """Acceptance demo: seeded bit-flips at p=1e-3 complete under
+        ``repair`` with a miss ratio within 1% of the fault-free run."""
+        records = tiny_workload.records()
+        config = HierarchyConfig.sized("1K", "8K")
+        clean = Multiprocessor(
+            tiny_workload.layout, tiny_workload.spec.n_cpus, config
+        ).run(records)
+        machine, injector, guard = faulty_machine(tiny_workload, METADATA_MIX)
+        faulty = machine.run(records, injector=injector, guard=guard)
+        assert injector.events, "no faults injected"
+        assert faulty.aggregate().repairs() > 0
+        assert abs(faulty.h1 - clean.h1) < 0.01
+
+    def test_hierarchy_consistent_after_repairs(self, tiny_workload):
+        records = tiny_workload.records()
+        machine, injector, guard = faulty_machine(
+            tiny_workload, METADATA_MIX, check_every=50, full_every=4
+        )
+        machine.run(records, injector=injector, guard=guard)
+        # After a final full repair pass the invariants must all hold.
+        for hier in machine.hierarchies:
+            hier.drain_write_buffer()
+            check_all(hier)
+
+    def test_repairs_surface_in_summary(self, tiny_workload):
+        records = tiny_workload.records()
+        machine, injector, guard = faulty_machine(tiny_workload, METADATA_MIX)
+        result = machine.run(records, injector=injector, guard=guard)
+        assert "repairs" in result.aggregate().summary()
+
+
+class TestFailFastPolicy:
+    def test_scheduled_fault_raises_structured_error(self, tiny_workload):
+        records = tiny_workload.records()
+        injector = FaultInjector(
+            FaultConfig(schedule=((50, FaultKind.CORRUPT_V_POINTER),), seed=1)
+        )
+        bus = FaultyBus(injector)
+        config = HierarchyConfig.sized("1K", "8K")
+        machine = Multiprocessor(
+            tiny_workload.layout, tiny_workload.spec.n_cpus, config, bus=bus
+        )
+        guard = InvariantGuard(
+            GuardPolicy.FAIL_FAST, check_every=1, full_every=1
+        )
+        with pytest.raises(IntegrityError) as exc_info:
+            machine.run(records, injector=injector, guard=guard)
+        error = exc_info.value
+        assert error.access_index is not None and error.access_index >= 50
+        assert error.violations
+        assert error.snapshot, "expected a tag-store snapshot"
+
+    def test_policy_accepts_string_spelling(self):
+        assert InvariantGuard("fail-fast").policy is GuardPolicy.FAIL_FAST
+        assert InvariantGuard("repair").policy is GuardPolicy.REPAIR
+
+
+class TestLogPolicy:
+    def test_records_incidents_and_continues(self, tiny_workload):
+        records = tiny_workload.records()
+        machine, injector, guard = faulty_machine(
+            tiny_workload,
+            {FaultKind.CORRUPT_TLB: 2e-3},
+            policy=GuardPolicy.LOG,
+        )
+        result = machine.run(records, injector=injector, guard=guard)
+        assert result.refs_processed == tiny_workload.spec.total_refs
+        assert guard.incidents
+        assert result.aggregate().counters["guard_logged_violations"] > 0
+
+
+class TestFaultyBus:
+    def test_drops_are_retried_and_run_completes(self, tiny_workload):
+        records = tiny_workload.records()
+        machine, injector, guard = faulty_machine(
+            tiny_workload, {FaultKind.DROP_TXN: 0.02}
+        )
+        result = machine.run(records, injector=injector, guard=guard)
+        assert result.refs_processed == tiny_workload.spec.total_refs
+        assert machine.bus.stats["faults_dropped"] > 0
+        assert machine.bus.stats["retries"] == machine.bus.stats["faults_dropped"]
+        assert machine.bus.stats["backoff_cycles"] > 0
+
+    def test_certain_drop_exhausts_retries(self, tiny_workload):
+        records = tiny_workload.records()
+        injector = FaultInjector(
+            FaultConfig(probabilities={FaultKind.DROP_TXN: 1.0})
+        )
+        bus = FaultyBus(injector, max_retries=3)
+        config = HierarchyConfig.sized("1K", "8K")
+        machine = Multiprocessor(
+            tiny_workload.layout, tiny_workload.spec.n_cpus, config, bus=bus
+        )
+        with pytest.raises(BusFaultError):
+            machine.run(records)
+        assert bus.stats["faults_dropped"] == 4  # initial try + 3 retries
+
+    def test_duplicates_and_delays_are_harmless(self, tiny_workload):
+        """Duplicated transactions must not break any invariant —
+        verified by a fail-fast guard over the whole run."""
+        records = tiny_workload.records()
+        machine, injector, guard = faulty_machine(
+            tiny_workload,
+            {FaultKind.DUP_TXN: 0.05, FaultKind.DELAY_TXN: 0.05},
+            policy=GuardPolicy.FAIL_FAST,
+        )
+        result = machine.run(records, injector=injector, guard=guard)
+        assert result.refs_processed == tiny_workload.spec.total_refs
+        assert machine.bus.stats["faults_duplicated"] > 0
+        assert machine.bus.stats["faults_delayed"] > 0
+
+
+class TestGuardedHierarchy:
+    def test_wrapper_repairs_and_delegates(self, layout):
+        from tests.conftest import build_hierarchy
+
+        hier = build_hierarchy(layout)
+        injector = FaultInjector(
+            FaultConfig(probabilities={FaultKind.FLIP_INCLUSION: 5e-3}, seed=3)
+        )
+        guard = InvariantGuard(GuardPolicy.REPAIR, check_every=20, full_every=2)
+        guarded = GuardedHierarchy(hier, guard, injector)
+        for i in range(2000):
+            guarded.access(1, 0x40000 + (i * 24) % 0x8000, RefKind.READ)
+        assert guarded.stats is hier.stats  # attribute delegation
+        assert injector.events
+        assert hier.stats.repairs() > 0
+        hier.drain_write_buffer()
+        check_all(hier)
+
+
+class TestCheckpoint:
+    def _build(self, workload):
+        machine, injector, guard = faulty_machine(
+            workload, {FaultKind.FLIP_INCLUSION: 1e-3, FaultKind.CORRUPT_TLB: 1e-3},
+            seed=3,
+        )
+        return machine, injector, guard
+
+    def _fingerprint(self, machine, injector):
+        return (
+            [h.stats.counters.as_dict() for h in machine.hierarchies],
+            machine.bus.memory.export_state(),
+            machine.bus.stats.as_dict(),
+            injector.events,
+        )
+
+    def test_interrupted_run_resumes_bit_identical(self, tiny_workload, tmp_path):
+        """Acceptance demo: a checkpointed run killed mid-trace resumes
+        to results bit-identical to an uninterrupted one."""
+        records = tiny_workload.records()
+        key = ("ckpt-test",)
+
+        machine, injector, guard = self._build(tiny_workload)
+        path_full = str(tmp_path / "full.ckpt")
+        full = run_checkpointed(
+            machine, records, path_full, key=key, chunk=1000,
+            injector=injector, guard=guard,
+        )
+        assert full.refs_processed == tiny_workload.spec.total_refs
+        assert not os.path.exists(path_full)  # deleted on completion
+        expected = self._fingerprint(machine, injector)
+
+        class Killed(Exception):
+            pass
+
+        path = str(tmp_path / "killed.ckpt")
+        machine2, injector2, guard2 = self._build(tiny_workload)
+        chunks_done = []
+
+        def kill_after_three(position):
+            chunks_done.append(position)
+            if len(chunks_done) == 3:
+                raise Killed
+
+        with pytest.raises(Killed):
+            run_checkpointed(
+                machine2, records, path, key=key, chunk=1000,
+                injector=injector2, guard=guard2, on_chunk=kill_after_three,
+            )
+        assert os.path.exists(path)
+
+        # Resume into a completely fresh machine.
+        machine3, injector3, guard3 = self._build(tiny_workload)
+        resumed = run_checkpointed(
+            machine3, records, path, key=key, chunk=1000,
+            injector=injector3, guard=guard3,
+        )
+        assert resumed.refs_processed == tiny_workload.spec.total_refs
+        assert self._fingerprint(machine3, injector3) == expected
+
+    def test_key_mismatch_rejected(self, tiny_workload, tmp_path):
+        records = tiny_workload.records()
+        path = str(tmp_path / "keyed.ckpt")
+        machine, injector, guard = self._build(tiny_workload)
+
+        class Killed(Exception):
+            pass
+
+        def kill_immediately(position):
+            raise Killed
+
+        with pytest.raises(Killed):
+            run_checkpointed(
+                machine, records, path, key=("run-a",), chunk=1000,
+                injector=injector, guard=guard, on_chunk=kill_immediately,
+            )
+        machine2, injector2, guard2 = self._build(tiny_workload)
+        with pytest.raises(CheckpointError, match="different run"):
+            run_checkpointed(
+                machine2, records, path, key=("run-b",), chunk=1000,
+                injector=injector2, guard=guard2,
+            )
+
+    def test_garbage_file_rejected(self, tmp_path):
+        path = tmp_path / "garbage.ckpt"
+        path.write_bytes(b"not a pickle")
+        with pytest.raises(CheckpointError):
+            load_checkpoint(str(path))
+        path.write_bytes(pickle.dumps({"format": "something-else"}))
+        with pytest.raises(CheckpointError, match="not a repro checkpoint"):
+            load_checkpoint(str(path))
+
+    def test_save_is_atomic(self, tmp_path):
+        path = str(tmp_path / "atomic.ckpt")
+        save_checkpoint(path, {"format": "repro-checkpoint", "version": 1})
+        assert load_checkpoint(path)["version"] == 1
+        leftovers = [p for p in os.listdir(tmp_path) if p.endswith(".tmp")]
+        assert not leftovers
+
+
+class TestCli:
+    def test_check_every_flag_accepted(self, capsys):
+        from repro.experiments import clear_caches, get_run_options
+        from repro.experiments.cli import main
+
+        clear_caches()
+        assert main(["table1", "--scale", "0.01", "--check-every", "100"]) == 0
+        assert "table1" in capsys.readouterr().out
+        # Options are restored after the run.
+        assert get_run_options().check_every is None
+
+    def test_invalid_check_every_rejected(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["table1", "--check-every", "0"]) == 2
+
+    def test_keyboard_interrupt_exits_130(self, monkeypatch, capsys):
+        from repro.experiments import cli
+
+        def interrupted(experiment_id):
+            def runner(scale=None):
+                raise KeyboardInterrupt
+            return runner
+
+        monkeypatch.setattr(cli, "get_runner", interrupted)
+        assert cli.main(["table6"]) == 130
+        assert "interrupted" in capsys.readouterr().err
