@@ -4,9 +4,19 @@ Unlike the table benchmarks (one-shot artefact regeneration), these
 use pytest-benchmark's normal multi-round timing to track the cost of
 the inner loops: trace generation, single-hierarchy access, and the
 full multiprocessor step.
+
+``test_replay_throughput_floor`` additionally guards the replay hot
+path against regressions: it times the unguarded multiprocessor loop
+directly (no pytest-benchmark, so the CI smoke job can run it in
+isolation), writes the measured rates and per-phase timings to
+``benchmarks/results/BENCH_throughput.json``, and fails if throughput
+drops below the recorded baseline's floor.
 """
 
 import itertools
+import json
+from pathlib import Path
+from time import perf_counter
 
 from repro.coherence.bus import Bus, MainMemory
 from repro.hierarchy.config import HierarchyConfig, HierarchyKind
@@ -16,7 +26,11 @@ from repro.system.multiprocessor import Multiprocessor
 from repro.trace.record import RefKind
 from repro.trace.synthetic import SyntheticWorkload, WorkloadSpec
 
+from conftest import RESULTS_DIR
+
 N_REFS = 20_000
+
+BASELINE_PATH = Path(__file__).parent / "baseline_throughput.json"
 
 
 def _spec(**overrides) -> WorkloadSpec:
@@ -84,3 +98,54 @@ def test_rr_no_inclusion_snoop_rate(benchmark):
         return machine.run(records).refs_processed
 
     assert benchmark(run) == N_REFS
+
+
+def test_replay_throughput_floor():
+    """Measure replay throughput, publish it, guard the floor.
+
+    The measurement matches the recorded baseline's workload exactly
+    (60k refs, 2 CPUs, 4K/64K V-R); best-of-two reduces timer noise.
+    The emitted JSON is the artefact CI uploads.
+    """
+    baseline = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
+    shape = baseline["workload"]
+
+    gen_started = perf_counter()
+    workload = SyntheticWorkload(_spec(total_refs=shape["total_refs"]))
+    records = workload.records()
+    trace_gen_s = perf_counter() - gen_started
+
+    best_rate = 0.0
+    timings: dict[str, float] = {}
+    for _ in range(2):
+        machine = Multiprocessor(
+            workload.layout,
+            shape["n_cpus"],
+            HierarchyConfig.sized(shape["l1"], shape["l2"]),
+        )
+        result = machine.run(records)
+        assert result.refs_processed == shape["total_refs"]
+        rate = result.refs_processed / result.timings["replay_s"]
+        if rate > best_rate:
+            best_rate = rate
+            timings = dict(result.timings)
+    timings["trace_gen_s"] = trace_gen_s
+
+    floor = baseline["replay_refs_per_s"] / baseline["floor_divisor"]
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "workload": shape,
+        "replay_refs_per_s": round(best_rate),
+        "trace_gen_refs_per_s": round(shape["total_refs"] / trace_gen_s),
+        "timings_s": {name: round(value, 4) for name, value in timings.items()},
+        "baseline_refs_per_s": baseline["replay_refs_per_s"],
+        "floor_refs_per_s": round(floor),
+    }
+    (RESULTS_DIR / "BENCH_throughput.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+    assert best_rate >= floor, (
+        f"replay throughput regressed: {best_rate:.0f} refs/s is below the "
+        f"floor of {floor:.0f} (baseline {baseline['replay_refs_per_s']})"
+    )

@@ -7,7 +7,7 @@ independent of what kind of address indexes the cache.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..common.errors import ConfigurationError
 from ..common.params import format_size, log2_exact, parse_size
@@ -41,6 +41,15 @@ class CacheConfig:
         """Build a config accepting "16K"-style size spellings."""
         return cls(parse_size(size), parse_size(block_size), associativity)
 
+    # Derived geometry, precomputed once: address slicing runs on
+    # every simulated reference, so the shift/mask constants live as
+    # plain attributes rather than per-call div/mod properties.
+    n_blocks: int = field(init=False, repr=False, compare=False)
+    n_sets: int = field(init=False, repr=False, compare=False)
+    block_bits: int = field(init=False, repr=False, compare=False)
+    set_bits: int = field(init=False, repr=False, compare=False)
+    set_mask: int = field(init=False, repr=False, compare=False)
+
     def __post_init__(self) -> None:
         log2_exact(self.size, "cache size")
         log2_exact(self.block_size, "block size")
@@ -52,33 +61,18 @@ class CacheConfig:
             raise ConfigurationError(
                 f"block size {self.block_size} exceeds cache size {self.size}"
             )
-        if self.n_blocks % self.associativity:
+        n_blocks = self.size // self.block_size
+        if n_blocks % self.associativity:
             raise ConfigurationError(
                 f"associativity {self.associativity} does not divide "
-                f"{self.n_blocks} blocks"
+                f"{n_blocks} blocks"
             )
-
-    # -- derived geometry ----------------------------------------------
-
-    @property
-    def n_blocks(self) -> int:
-        """Total number of blocks."""
-        return self.size // self.block_size
-
-    @property
-    def n_sets(self) -> int:
-        """Number of sets."""
-        return self.n_blocks // self.associativity
-
-    @property
-    def block_bits(self) -> int:
-        """log2(block size) — the offset field width."""
-        return self.block_size.bit_length() - 1
-
-    @property
-    def set_bits(self) -> int:
-        """log2(number of sets) — the index field width."""
-        return self.n_sets.bit_length() - 1
+        n_sets = n_blocks // self.associativity
+        object.__setattr__(self, "n_blocks", n_blocks)
+        object.__setattr__(self, "n_sets", n_sets)
+        object.__setattr__(self, "block_bits", self.block_size.bit_length() - 1)
+        object.__setattr__(self, "set_bits", n_sets.bit_length() - 1)
+        object.__setattr__(self, "set_mask", n_sets - 1)
 
     # -- address slicing -------------------------------------------------
 
@@ -92,11 +86,11 @@ class CacheConfig:
 
     def set_index(self, addr: int) -> int:
         """Set selected by *addr*."""
-        return self.block_number(addr) & (self.n_sets - 1)
+        return (addr >> self.block_bits) & self.set_mask
 
     def tag(self, addr: int) -> int:
         """Tag field of *addr* (block number with the index stripped)."""
-        return self.block_number(addr) >> self.set_bits
+        return addr >> self.block_bits >> self.set_bits
 
     def address_of(self, tag: int, set_index: int) -> int:
         """Reconstruct the block base address from (tag, set)."""

@@ -53,6 +53,14 @@ class TagStore:
             [block_factory(s, w) for w in range(config.associativity)]
             for s in range(config.n_sets)
         ]
+        # Hot-loop constants: address slicing runs on every access, so
+        # the shifts/masks are cached here, and replacement bookkeeping
+        # is skipped entirely for direct-mapped stores (every policy is
+        # a no-op over a single way).
+        self._block_bits = config.block_bits
+        self._set_bits = config.set_bits
+        self._set_mask = config.set_mask
+        self._multiway = config.associativity > 1
 
     # -- lookup ----------------------------------------------------------
 
@@ -67,9 +75,9 @@ class TagStore:
         data is physically present but invalidated by a context switch
         (swapped-valid).
         """
-        set_index = self.config.set_index(addr)
-        tag = self.config.tag(addr)
-        for block in self._sets[set_index]:
+        block_number = addr >> self._block_bits
+        tag = block_number >> self._set_bits
+        for block in self._sets[block_number & self._set_mask]:
             if block.tag == tag and (
                 block.valid or (include_swapped and block.swapped_valid)
             ):
@@ -78,14 +86,20 @@ class TagStore:
 
     def access(self, addr: int) -> CacheBlock | None:
         """Like :meth:`find`, but marks the block most recently used."""
-        block = self.find(addr)
-        if block is not None:
-            self.policy.on_access(block.set_index, block.way)
-        return block
+        block_number = addr >> self._block_bits
+        set_index = block_number & self._set_mask
+        tag = block_number >> self._set_bits
+        for block in self._sets[set_index]:
+            if block.tag == tag and block.valid:
+                if self._multiway:
+                    self.policy.on_access(set_index, block.way)
+                return block
+        return None
 
     def touch(self, block: CacheBlock) -> None:
         """Mark *block* most recently used."""
-        self.policy.on_access(block.set_index, block.way)
+        if self._multiway:
+            self.policy.on_access(block.set_index, block.way)
 
     # -- victim selection --------------------------------------------------
 
@@ -103,11 +117,13 @@ class TagStore:
         inclusion bits are all clear).  When no way satisfies
         *prefer*, the policy chooses among all ways.
         """
-        set_index = self.config.set_index(addr)
+        set_index = (addr >> self._block_bits) & self._set_mask
         ways = self._sets[set_index]
         for block in ways:
             if not block.present:
                 return block
+        if not self._multiway:
+            return ways[0]
         candidates: Sequence[int] = range(len(ways))
         if prefer is not None:
             preferred = [block.way for block in ways if prefer(block)]
@@ -118,7 +134,8 @@ class TagStore:
 
     def note_install(self, block: CacheBlock) -> None:
         """Record that *block* was just filled (replacement bookkeeping)."""
-        self.policy.on_install(block.set_index, block.way)
+        if self._multiway:
+            self.policy.on_install(block.set_index, block.way)
 
     # -- iteration / maintenance --------------------------------------------
 

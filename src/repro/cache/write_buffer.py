@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from ..common.stats import CounterBag
 
 
-@dataclass
+@dataclass(slots=True)
 class WriteBufferEntry:
     """One dirty block awaiting write-back.
 
@@ -116,8 +116,13 @@ class WriteBuffer:
 
     def restore_state(self, state: dict) -> None:
         """Replace buffer contents with a snapshot's (no stats side
-        effects beyond restoring the snapshot's own counters)."""
-        self._entries = deque(
+        effects beyond restoring the snapshot's own counters).
+
+        The deque is mutated in place — the hierarchy's fast path
+        holds a direct reference to it.
+        """
+        self._entries.clear()
+        self._entries.extend(
             WriteBufferEntry(pblock, version, swapped)
             for pblock, version, swapped in state["entries"]
         )

@@ -69,8 +69,12 @@ class CounterBag:
         return dict(self._counts)
 
     def restore_state(self, state: dict[str, int]) -> None:
-        """Replace the bag's contents with a snapshot's."""
-        self._counts = Counter(state)
+        """Replace the bag's contents with a snapshot's.
+
+        In place — hot paths hold direct references to the Counter.
+        """
+        self._counts.clear()
+        self._counts.update(state)
 
     def __repr__(self) -> str:
         inner = ", ".join(f"{k}={v}" for k, v in sorted(self._counts.items()))

@@ -18,41 +18,107 @@ Three studies, each isolating one decision the paper argues for:
 
 from __future__ import annotations
 
-from dataclasses import replace
-
 from ..cache.config import CacheConfig
 from ..coherence.protocol import WritePolicy
 from ..hierarchy.config import (
-    HierarchyConfig,
     HierarchyKind,
     Protocol,
     min_l2_associativity_for_strict_inclusion,
 )
 from ..perf.tables import render
-from ..system.multiprocessor import Multiprocessor
-from ..trace.synthetic import SyntheticWorkload
 from ..trace.workloads import get_spec
-from .base import ExperimentResult, default_scale
+from .base import ExperimentResult, default_scale, simulate, trace_records
+
+#: Fields :func:`_overrides` drops when set to their defaults, so a
+#: sweep point that happens to equal the baseline shares its cache key
+#: (and its simulation) with every other caller of the baseline.
+_DEFAULT_OVERRIDES: dict[str, object] = {
+    "l1_associativity": 1,
+    "l2_associativity": 1,
+    "write_buffer_capacity": 1,
+    "l1_pid_tags": False,
+    "l1_write_policy": WritePolicy.WRITE_BACK,
+    "protocol": Protocol.WRITE_INVALIDATE,
+}
 
 
-def _run(trace: str, scale: float, config: HierarchyConfig):
-    workload = SyntheticWorkload(get_spec(trace, scale))
-    machine = Multiprocessor(workload.layout, workload.spec.n_cpus, config)
-    return machine.run(workload)
+def _overrides(**kwargs: object) -> tuple[tuple[str, object], ...]:
+    """Canonical config-override tuple: sorted, defaults dropped."""
+    return tuple(
+        sorted(
+            (name, value)
+            for name, value in kwargs.items()
+            if _DEFAULT_OVERRIDES.get(name) != value
+        )
+    )
+
+
+def _sim(
+    trace: str,
+    scale: float,
+    kind: HierarchyKind = HierarchyKind.VR,
+    **overrides: object,
+):
+    """One ablation simulation — all studies run at 16K/256K."""
+    return simulate(
+        trace, scale, "16K", "256K", kind, config_overrides=_overrides(**overrides)
+    )
+
+
+def simulation_cases(scale: float) -> list[tuple[str, HierarchyKind, tuple]]:
+    """Every (trace, kind, config_overrides) the machine-level
+    ablations simulate, all at 16K/256K.
+
+    The job planner consumes this so the parallel runner pre-computes
+    exactly what :func:`run` will ask for — keep it in lockstep with
+    the study functions below.
+    """
+    cases: list[tuple[str, HierarchyKind, tuple]] = [
+        # Ablation 1: context-switch policy (the plain VR and RR runs
+        # are shared with Table 6).
+        ("abaqus", HierarchyKind.VR, ()),
+        ("abaqus", HierarchyKind.VR, _overrides(l1_pid_tags=True)),
+        ("abaqus", HierarchyKind.RR_INCLUSION, ()),
+    ]
+    # Ablation 2: inclusion invalidations vs L2 associativity.
+    for assoc in (1, 2, 4):
+        cases.append(
+            ("pops", HierarchyKind.VR,
+             _overrides(l1_associativity=2, l2_associativity=assoc))
+        )
+    # Ablation 3: write-buffer capacity.
+    for capacity in (1, 2, 4, 8):
+        cases.append(
+            ("pops", HierarchyKind.VR, _overrides(write_buffer_capacity=capacity))
+        )
+    # Ablation 4: level-1 write policy.
+    for policy, capacity in (
+        (WritePolicy.WRITE_BACK, 1),
+        (WritePolicy.WRITE_THROUGH, 1),
+        (WritePolicy.WRITE_THROUGH, 4),
+    ):
+        cases.append(
+            ("pops", HierarchyKind.VR,
+             _overrides(l1_write_policy=policy, write_buffer_capacity=capacity))
+        )
+    # Ablation 5: coherence protocol.
+    for protocol in (Protocol.WRITE_INVALIDATE, Protocol.WRITE_UPDATE):
+        cases.append(("thor", HierarchyKind.VR, _overrides(protocol=protocol)))
+    # Ablation 6: the two-level arm of the memory-traffic comparison.
+    cases.append(("pops", HierarchyKind.VR, ()))
+    return cases
 
 
 def context_switch_policies(scale: float) -> dict[str, dict[str, float]]:
     """h1 and write-back behaviour per context-switch policy (abaqus)."""
     policies = {
-        "flush+swapped-valid": HierarchyConfig.sized("16K", "256K"),
-        "pid-tagged": HierarchyConfig.sized("16K", "256K", l1_pid_tags=True),
-        "physical L1": HierarchyConfig.sized(
-            "16K", "256K", kind=HierarchyKind.RR_INCLUSION
-        ),
+        "flush+swapped-valid": {},
+        "pid-tagged": {"l1_pid_tags": True},
+        "physical L1": {"kind": HierarchyKind.RR_INCLUSION},
     }
     out = {}
-    for name, config in policies.items():
-        result = _run("abaqus", scale, config)
+    for name, kwargs in policies.items():
+        result = _sim("abaqus", scale, **kwargs)
         totals = result.aggregate()
         out[name] = {
             "h1": result.h1,
@@ -67,10 +133,7 @@ def inclusion_invalidation_sweep(scale: float) -> dict[int, int]:
     """Forced inclusion invalidations vs level-2 associativity (pops)."""
     out = {}
     for assoc in (1, 2, 4):
-        config = HierarchyConfig.sized(
-            "16K", "256K", l1_associativity=2, l2_associativity=assoc
-        )
-        result = _run("pops", scale, config)
+        result = _sim("pops", scale, l1_associativity=2, l2_associativity=assoc)
         out[assoc] = result.aggregate().counters["l1_inclusion_invalidations"]
     return out
 
@@ -79,10 +142,7 @@ def write_buffer_sweep(scale: float) -> dict[int, dict[str, int]]:
     """Write-buffer stalls vs capacity (pops, write-back V-cache)."""
     out = {}
     for capacity in (1, 2, 4, 8):
-        config = HierarchyConfig.sized(
-            "16K", "256K", write_buffer_capacity=capacity
-        )
-        result = _run("pops", scale, config)
+        result = _sim("pops", scale, write_buffer_capacity=capacity)
         totals = result.aggregate()
         out[capacity] = {
             "stalls": totals.counters["writeback_stalls"],
@@ -104,11 +164,9 @@ def write_policy_comparison(scale: float) -> dict[str, dict[str, float]]:
         ("write-through, 1 buffer", WritePolicy.WRITE_THROUGH, 1),
         ("write-through, 4 buffers", WritePolicy.WRITE_THROUGH, 4),
     ):
-        config = HierarchyConfig.sized(
-            "16K", "256K",
-            l1_write_policy=policy, write_buffer_capacity=capacity,
+        result = _sim(
+            "pops", scale, l1_write_policy=policy, write_buffer_capacity=capacity
         )
-        result = _run("pops", scale, config)
         totals = result.aggregate()
         refs = totals.l1_refs()
         out[label] = {
@@ -130,8 +188,7 @@ def protocol_comparison(scale: float) -> dict[str, dict[str, int]]:
         ("invalidate", Protocol.WRITE_INVALIDATE),
         ("update", Protocol.WRITE_UPDATE),
     ):
-        config = HierarchyConfig.sized("16K", "256K", protocol=protocol)
-        result = _run("thor", scale, config)
+        result = _sim("thor", scale, protocol=protocol)
         totals = result.aggregate()
         out[label] = {
             "l1_misses": totals.l1_refs() - int(
@@ -165,11 +222,7 @@ def memory_traffic_comparison(scale: float) -> dict[str, dict[str, float]]:
     out: dict[str, dict[str, float]] = {}
 
     # Two-level V-R: memory traffic is what reaches the bus.
-    workload = SyntheticWorkload(get_spec("pops", scale))
-    machine = Multiprocessor(
-        workload.layout, workload.spec.n_cpus, HierarchyConfig.sized("16K", "256K")
-    )
-    result = machine.run(workload)
+    result = _sim("pops", scale)
     refs = result.refs_processed
     bus_traffic = sum(
         count
@@ -182,16 +235,17 @@ def memory_traffic_comparison(scale: float) -> dict[str, dict[str, float]]:
     }
 
     # Single level: every level-1 miss and write-back hits memory.
+    n_cpus = get_spec("pops", scale).n_cpus
     caches = [
         SingleLevelCache(
             _CacheConfig.create("16K", 16),
             write_policy=_WritePolicy.WRITE_BACK,
             lazy_swap=True,
         )
-        for _ in range(workload.spec.n_cpus)
+        for _ in range(n_cpus)
     ]
     single_refs = 0
-    for record in SyntheticWorkload(get_spec("pops", scale)):
+    for record in trace_records("pops", scale)[0]:
         if record.kind is RefKind.CSWITCH:
             caches[record.cpu].context_switch()
         elif record.is_memory:

@@ -15,7 +15,9 @@ raise it — 1.0 reproduces the full trace lengths.
 from __future__ import annotations
 
 import os
+from collections import OrderedDict
 from dataclasses import dataclass, field
+from time import perf_counter
 
 from ..faults import (
     FaultConfig,
@@ -42,6 +44,11 @@ SMALL_SIZE_PAIRS: list[tuple[str, str]] = [
 
 #: Traces above this many references are regenerated instead of cached.
 _TRACE_CACHE_LIMIT = 600_000
+
+#: Distinct (trace, scale) record lists kept in memory at once.  A run
+#: walks traces one at a time, each feeding many configurations, so a
+#: handful of slots gives full reuse while bounding resident memory.
+_TRACE_CACHE_ENTRIES = 4
 
 
 def default_scale() -> float:
@@ -92,6 +99,8 @@ class RunOptions:
         checkpoint_dir: directory for checkpoint files; enables
             resumable replay (None disables it).
         checkpoint_every: trace records replayed between checkpoints.
+        cache_dir: root of the persistent result cache; None disables
+            disk caching (the in-process memo still applies).
     """
 
     check_every: int | None = None
@@ -100,6 +109,24 @@ class RunOptions:
     fault_seed: int = 0
     checkpoint_dir: str | None = None
     checkpoint_every: int = 50_000
+    cache_dir: str | None = None
+
+    def result_key_parts(self) -> tuple:
+        """The option fields that can affect simulation *results*.
+
+        Used for the disk-cache key: ``cache_dir`` (where results go)
+        and the checkpoint directory path (not whether checkpointing
+        is on) are excluded, so runs differing only in bookkeeping
+        locations share cached results.
+        """
+        return (
+            self.check_every,
+            self.guard_policy,
+            self.fault_rate,
+            self.fault_seed,
+            self.checkpoint_dir is not None,
+            self.checkpoint_every,
+        )
 
 
 _run_options = RunOptions()
@@ -128,30 +155,109 @@ _INJECTED_KINDS = (
 )
 
 
-_trace_cache: dict[tuple[str, float], tuple[list[TraceRecord], MemoryLayout]] = {}
+_trace_cache: OrderedDict[
+    tuple[str, float], tuple[list[TraceRecord], MemoryLayout]
+] = OrderedDict()
 _sim_cache: dict[tuple, SimulationResult] = {}
+
+#: Simulations actually replayed (not served from memo or disk) since
+#: the last :func:`clear_caches`.  The runner's warm-cache tests and
+#: the pool's run report both read this.
+_executed_simulations = 0
+
+
+def executed_simulations() -> int:
+    """How many simulations were replayed (cache misses) so far."""
+    return _executed_simulations
 
 
 def clear_caches() -> None:
-    """Drop memoised traces and simulations (tests use this)."""
+    """Drop memoised traces and simulations (tests use this).
+
+    When the installed options name a disk cache, its entries are
+    removed too, so "clear" means the next simulation really runs.
+    """
+    global _executed_simulations
     _trace_cache.clear()
     _sim_cache.clear()
+    _executed_simulations = 0
+    if _run_options.cache_dir is not None:
+        from ..runner.disk_cache import get_cache
+
+        get_cache(_run_options.cache_dir).clear()
 
 
 def trace_records(
     name: str, scale: float
 ) -> tuple[list[TraceRecord], MemoryLayout]:
-    """The surrogate trace *name* at *scale*, with its address layout."""
+    """The surrogate trace *name* at *scale*, with its address layout.
+
+    Cached traces are kept in a small LRU (``_TRACE_CACHE_ENTRIES``
+    slots, each at most ``_TRACE_CACHE_LIMIT`` references) so a long
+    multi-trace run cannot grow memory without bound.
+    """
     key = (name, scale)
     cached = _trace_cache.get(key)
     if cached is not None:
+        _trace_cache.move_to_end(key)
         return cached
     workload = make_workload(name, scale)
     records = workload.records()
     result = (records, workload.layout)
     if get_spec(name, scale).total_refs <= _TRACE_CACHE_LIMIT:
         _trace_cache[key] = result
+        while len(_trace_cache) > _TRACE_CACHE_ENTRIES:
+            _trace_cache.popitem(last=False)
     return result
+
+
+def simulation_key(
+    trace_name: str,
+    scale: float,
+    l1_size: str,
+    l2_size: str,
+    kind: HierarchyKind,
+    split_l1: bool = False,
+    block_size: str | int = 16,
+    seed: int = 0,
+    config_overrides: tuple[tuple[str, object], ...] = (),
+) -> tuple:
+    """The identity of one simulation, minus the run options.
+
+    The planner, pool and memo all key on this; appending the
+    installed options' identity gives the memo key, and appending
+    their :meth:`RunOptions.result_key_parts` gives the disk key.
+    """
+    return (
+        trace_name,
+        scale,
+        l1_size,
+        l2_size,
+        kind,
+        split_l1,
+        block_size,
+        seed,
+        config_overrides,
+    )
+
+
+def disk_key(key: tuple, options: RunOptions) -> tuple:
+    """The persistent-cache key for *key* under *options*."""
+    return key + options.result_key_parts()
+
+
+def memo_get(key: tuple) -> SimulationResult | None:
+    """The memoised result for *key* under the installed options."""
+    return _sim_cache.get(key + (_run_options,))
+
+
+def seed_memo(key: tuple, result: SimulationResult) -> None:
+    """Install a precomputed result so :func:`simulate` reuses it.
+
+    The pool calls this with worker-produced results; the key must
+    come from :func:`simulation_key` under the same installed options.
+    """
+    _sim_cache[key + (_run_options,)] = result
 
 
 def simulate(
@@ -163,24 +269,59 @@ def simulate(
     split_l1: bool = False,
     block_size: str | int = 16,
     seed: int = 0,
+    config_overrides: tuple[tuple[str, object], ...] = (),
 ) -> SimulationResult:
     """Run (or reuse) one full-machine simulation.
 
     Honours the installed :class:`RunOptions`: an invariant guard
     every ``check_every`` accesses, seeded metadata fault injection,
-    and checkpointed (resumable) replay.  The memo key includes the
-    options, so guarded and unguarded results never mix.
+    checkpointed (resumable) replay, and — when ``cache_dir`` is set —
+    a persistent result cache fronted by the in-process memo.  The
+    memo key includes the options, so guarded and unguarded results
+    never mix.
+
+    *config_overrides* is a sorted tuple of ``(field, value)`` pairs
+    applied on top of :meth:`HierarchyConfig.sized` — the ablation
+    studies use it to vary associativity, write policy and buffering
+    while still sharing traces and the caches.
     """
+    global _executed_simulations
     options = _run_options
-    key = (trace_name, scale, l1_size, l2_size, kind, split_l1, block_size, seed)
+    key = simulation_key(
+        trace_name,
+        scale,
+        l1_size,
+        l2_size,
+        kind,
+        split_l1,
+        block_size,
+        seed,
+        config_overrides,
+    )
     cache_key = key + (options,)
     cached = _sim_cache.get(cache_key)
     if cached is not None:
         return cached
+    disk = None
+    if options.cache_dir is not None:
+        from ..runner.disk_cache import get_cache
+
+        disk = get_cache(options.cache_dir)
+        stored = disk.load(disk_key(key, options))
+        if stored is not None:
+            _sim_cache[cache_key] = stored
+            return stored
+    gen_started = perf_counter()
     records, layout = trace_records(trace_name, scale)
+    trace_gen_s = perf_counter() - gen_started
     spec = get_spec(trace_name, scale)
     config = HierarchyConfig.sized(
-        l1_size, l2_size, block_size=block_size, kind=kind, split_l1=split_l1
+        l1_size,
+        l2_size,
+        block_size=block_size,
+        kind=kind,
+        split_l1=split_l1,
+        **dict(config_overrides),
     )
 
     injector = None
@@ -218,5 +359,9 @@ def simulate(
         )
     else:
         result = machine.run(records, injector=injector, guard=guard)
+    result.timings["trace_gen_s"] = trace_gen_s
+    _executed_simulations += 1
     _sim_cache[cache_key] = result
+    if disk is not None:
+        disk.store(disk_key(key, options), result)
     return result

@@ -4,7 +4,12 @@ Examples::
 
     repro-experiment table6
     repro-experiment figures --scale 0.1
-    repro-experiment all --scale 0.02
+    repro-all --jobs 8                                   # everything, parallel
+    repro-experiment all --jobs 4 --profile              # with a profile
+
+Simulations fan out across ``--jobs`` worker processes (default: all
+cores) and results persist in an on-disk cache, so a re-run replays
+only what changed; ``--no-cache`` forces everything to recompute.
 
 Robustness options::
 
@@ -21,6 +26,7 @@ results of every experiment that completed; re-running with the same
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -56,6 +62,33 @@ def build_parser() -> argparse.ArgumentParser:
             "trace scale relative to the paper's trace lengths "
             f"(default {default_scale()} or $REPRO_SCALE; 1.0 = full)"
         ),
+    )
+    runner = parser.add_argument_group("execution")
+    runner.add_argument(
+        "--jobs",
+        type=int,
+        metavar="N",
+        default=None,
+        help="worker processes for simulations (default: all cores)",
+    )
+    runner.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "root of the persistent result cache "
+            "(default: benchmarks/results/cache or $REPRO_CACHE_DIR)"
+        ),
+    )
+    runner.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="neither read nor write the persistent result cache",
+    )
+    runner.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile the run and print the hottest functions",
     )
     guard = parser.add_argument_group("robustness")
     guard.add_argument(
@@ -100,6 +133,17 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _precompute(ids: list[str], scale: float, jobs: int) -> None:
+    """Plan and pool-execute the simulations behind *ids*."""
+    from ..runner import plan_jobs, run_jobs
+
+    planned = plan_jobs(ids, scale)
+    if not planned:
+        return
+    report = run_jobs(planned, jobs)
+    print(f"[runner: {report.describe()}]", file=sys.stderr)
+
+
 def main(argv: list[str] | None = None) -> int:
     """Run the CLI; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -112,7 +156,17 @@ def main(argv: list[str] | None = None) -> int:
     if not 0.0 <= args.fault_rate <= 1.0:
         print("--fault-rate must be a probability in [0, 1]", file=sys.stderr)
         return 2
+    if args.jobs is not None and args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
     ids = experiment_ids() if args.experiment == "all" else [args.experiment]
+    cache_dir = args.cache_dir
+    if args.no_cache:
+        cache_dir = None
+    elif cache_dir is None:
+        from ..runner import default_cache_dir
+
+        cache_dir = default_cache_dir()
     previous = set_run_options(
         RunOptions(
             check_every=args.check_every,
@@ -121,10 +175,20 @@ def main(argv: list[str] | None = None) -> int:
             fault_seed=args.fault_seed,
             checkpoint_dir=args.checkpoint,
             checkpoint_every=args.checkpoint_every,
+            cache_dir=cache_dir,
         )
     )
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     completed = 0
     try:
+        jobs = args.jobs if args.jobs is not None else os.cpu_count() or 1
+        if jobs > 1:
+            _precompute(ids, args.scale or default_scale(), jobs)
         for experiment_id in ids:
             started = time.time()
             result = get_runner(experiment_id)(scale=args.scale)
@@ -147,7 +211,20 @@ def main(argv: list[str] | None = None) -> int:
         return 130
     finally:
         set_run_options(previous)
+        if profiler is not None:
+            import pstats
+
+            profiler.disable()
+            stats = pstats.Stats(profiler, stream=sys.stderr)
+            stats.sort_stats("cumulative")
+            print("\n-- profile (top 30 by cumulative time) --", file=sys.stderr)
+            stats.print_stats(30)
     return 0
+
+
+def main_all(argv: list[str] | None = None) -> int:
+    """The ``repro-all`` entry point: every experiment, one command."""
+    return main(["all"] + list(argv if argv is not None else sys.argv[1:]))
 
 
 if __name__ == "__main__":

@@ -135,6 +135,11 @@ def restore_hierarchy(hier: TwoLevelHierarchy, state: dict) -> None:
         )
     hier._refs = state["refs"]
     hier._last_writeback_ref = state["last_writeback_ref"]
+    # The drain countdown is derived state: it hits zero exactly at
+    # references that are multiples of the drain period.
+    hier._drain_countdown = (
+        hier.drain_period - state["refs"] % hier.drain_period
+    )
     hier.stats.counters.restore_state(state["counters"])
     hier.stats.writeback_intervals.restore_state(state["writeback_intervals"])
     hier.tlb.restore_state(state["tlb"])

@@ -46,11 +46,19 @@ class L1Cache:
         self.index = index
         self.name = name
         self.store = TagStore(config, replacement=replacement, seed=seed)
+        # The processor-side lookup is pure forwarding, and the replay
+        # loop performs it once per reference: expose the tag store's
+        # bound method directly so the wrapper frame disappears.
+        self.access = self.store.access
 
     # -- lookup -----------------------------------------------------------
 
     def access(self, key: int) -> CacheBlock | None:
-        """Processor-side lookup (valid blocks only, LRU updated)."""
+        """Processor-side lookup (valid blocks only, LRU updated).
+
+        Shadowed by the bound-method alias installed in ``__init__``;
+        kept so the lookup contract stays visible in the class body.
+        """
         return self.store.access(key)
 
     def find_present(self, key: int) -> CacheBlock | None:

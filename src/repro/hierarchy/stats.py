@@ -15,6 +15,14 @@ from ..trace.record import RefKind
 #: Reference classes tracked separately.
 _CLASSES = (RefKind.INSTR, RefKind.READ, RefKind.WRITE)
 
+#: Counter names per (kind, hit) — precomputed so the per-access hot
+#: path never builds an f-string.
+_L1_KEYS: dict[tuple[RefKind, bool], str] = {
+    (kind, hit): f"l1_{'hits' if hit else 'misses'}_{kind.value}"
+    for kind in _CLASSES
+    for hit in (True, False)
+}
+
 
 @dataclass
 class HierarchyStats:
@@ -40,7 +48,7 @@ class HierarchyStats:
 
     def record_l1(self, kind: RefKind, hit: bool) -> None:
         """Count a level-1 lookup outcome for one reference class."""
-        self.counters.add(f"l1_{'hits' if hit else 'misses'}_{kind.value}")
+        self.counters.add(_L1_KEYS[kind, hit])
 
     def record_l2(self, hit: bool) -> None:
         """Count the level-2 outcome of a level-1 miss."""

@@ -42,7 +42,11 @@ from ..trace.record import RefKind
 from .config import HierarchyConfig, HierarchyKind, Protocol
 from .l1 import L1Cache, VSlot
 from .rcache import RCache, RCacheBlock, SubEntry
-from .stats import HierarchyStats
+from .stats import _L1_KEYS, HierarchyStats
+
+#: Hoisted enum constants for the per-access fast path.
+_INSTR = RefKind.INSTR
+_WRITE = RefKind.WRITE
 
 
 class Outcome(enum.Enum):
@@ -54,7 +58,7 @@ class Outcome(enum.Enum):
     MEMORY = "memory"      # missed both levels
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AccessResult:
     """Outcome and observed/produced data version of one access."""
 
@@ -116,6 +120,16 @@ class TwoLevelHierarchy:
         self._sub_bits = config.l1.block_bits
         self._refs = 0
         self._last_writeback_ref: int | None = None
+        # Hot-path plumbing.  The access loop runs for every simulated
+        # reference, so the write-buffer drain check is a counter
+        # compare (no len() + modulo), the buffer's deque and the stats
+        # Counter are aliased directly, and the split-L1 choice is a
+        # precomputed boolean.  The countdown hits zero exactly when
+        # self._refs % drain_period == 0 would.
+        self._drain_countdown = drain_period
+        self._wb_entries = self.write_buffer._entries
+        self._counts = self.stats.counters._counts
+        self._split = len(self._l1s) == 2
 
     # -- public API ---------------------------------------------------------
 
@@ -133,8 +147,13 @@ class TwoLevelHierarchy:
     def access(self, pid: int, vaddr: int, kind: RefKind) -> AccessResult:
         """Process one memory reference from the local processor."""
         self._refs += 1
-        if len(self.write_buffer) and self._refs % self.drain_period == 0:
-            self._drain_one()
+        countdown = self._drain_countdown - 1
+        if countdown:
+            self._drain_countdown = countdown
+        else:
+            self._drain_countdown = self.drain_period
+            if self._wb_entries:
+                self._drain_one()
 
         paddr: int | None = None
         if self._virtual_l1:
@@ -145,16 +164,20 @@ class TwoLevelHierarchy:
         else:
             paddr = self.tlb.translate(pid, vaddr)
             key = paddr
-        l1 = self.l1_for(kind)
-        block = l1.access(key)
+        l1 = (
+            self._l1s[1]
+            if self._split and kind is not _INSTR
+            else self._l1s[0]
+        )
+        block = l1.store.access(key)
         if block is not None:
-            self.stats.record_l1(kind, True)
-            if kind is RefKind.WRITE:
+            self._counts[_L1_KEYS[kind, True]] += 1
+            if kind is _WRITE:
                 version = self._write_hit(l1, block)
                 return AccessResult(Outcome.L1_HIT, version)
             return AccessResult(Outcome.L1_HIT, block.version)
 
-        self.stats.record_l1(kind, False)
+        self._counts[_L1_KEYS[kind, False]] += 1
         if paddr is None:
             paddr = self.tlb.translate(pid, vaddr)
         return self._l1_miss(l1, key, paddr, kind)

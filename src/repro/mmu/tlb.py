@@ -55,6 +55,16 @@ class TLB:
         self._sets: list[OrderedDict[tuple[int, int], int]] = [
             OrderedDict() for _ in range(self.n_sets)
         ]
+        # Hot-path constants: page slicing by shift/mask when the page
+        # size is a power of two (the usual case), and the counters
+        # aliased directly (CounterBag restores in place, so the alias
+        # survives checkpoint restore).
+        page_size = layout.page_size
+        self._page_shift = (
+            page_size.bit_length() - 1 if is_power_of_two(page_size) else None
+        )
+        self._page_mask = page_size - 1
+        self._counts = self.stats._counts
 
     def _set_for(self, vpage: int) -> OrderedDict[tuple[int, int], int]:
         return self._sets[vpage % self.n_sets]
@@ -62,20 +72,27 @@ class TLB:
     def translate(self, pid: int, vaddr: int) -> int:
         """Translate through the TLB, walking the page table on a miss."""
         page_size = self.layout.page_size
-        vpage, offset = divmod(vaddr, page_size)
-        entry_set = self._set_for(vpage)
+        shift = self._page_shift
+        if shift is not None:
+            vpage = vaddr >> shift
+            offset = vaddr & self._page_mask
+        else:
+            vpage, offset = divmod(vaddr, page_size)
+        entry_set = self._sets[vpage % self.n_sets]
         key = (pid, vpage)
         frame = entry_set.get(key)
         if frame is not None:
             entry_set.move_to_end(key)
-            self.stats.add("hits")
+            self._counts["hits"] += 1
         else:
-            self.stats.add("misses")
+            self._counts["misses"] += 1
             frame = self.layout.translate(pid, vpage * page_size) // page_size
             if len(entry_set) >= self.associativity:
                 entry_set.popitem(last=False)
-                self.stats.add("evictions")
+                self._counts["evictions"] += 1
             entry_set[key] = frame
+        if shift is not None:
+            return (frame << shift) | offset
         return frame * page_size + offset
 
     def flush(self) -> None:

@@ -1,0 +1,29 @@
+"""Parallel experiment runner: job planning, worker pool, disk cache.
+
+This package turns a list of experiment ids into a deduplicated set
+of simulation jobs, fans the jobs out across worker processes, and
+persists every result in a content-keyed on-disk cache so repeated
+runs only pay for what actually changed.
+
+The layering is strict: ``repro.experiments`` knows nothing about
+processes — runners call :func:`repro.experiments.base.simulate`,
+which transparently hits the memo (pre-seeded by the pool) and the
+disk cache.  The runner only *pre-computes* what the runners would
+compute anyway.
+"""
+
+from .disk_cache import ResultCache, default_cache_dir, get_cache, schema_hash
+from .planner import PLANNERS, SimJob, plan_jobs
+from .pool import RunReport, run_jobs
+
+__all__ = [
+    "PLANNERS",
+    "ResultCache",
+    "RunReport",
+    "SimJob",
+    "default_cache_dir",
+    "get_cache",
+    "plan_jobs",
+    "run_jobs",
+    "schema_hash",
+]

@@ -1,0 +1,142 @@
+"""Job planning: experiment ids -> the deduplicated simulation set.
+
+Each planner mirrors the ``simulate`` calls its experiment runner
+makes, so the pool pre-computes exactly what the runner will ask for;
+a job the planner missed is not an error — the runner just simulates
+it serially on first use.  Planning is cheap (no traces are built),
+so the CLI always plans before running.
+
+Several experiments share simulations (Table 6, Figures 4-6 and
+Tables 11-13 all use the VR/RR grid), which is why planning goes
+through a set: the union over ids is typically much smaller than the
+sum of the parts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..experiments import ablation
+from ..experiments.base import SIZE_PAIRS, SMALL_SIZE_PAIRS, simulation_key
+from ..hierarchy.config import HierarchyKind
+from ..trace.workloads import get_spec, workload_names
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One simulation the pool can execute: the arguments of
+    :func:`repro.experiments.base.simulate`, frozen and hashable."""
+
+    trace: str
+    scale: float
+    l1: str
+    l2: str
+    kind: HierarchyKind
+    split_l1: bool = False
+    block_size: int = 16
+    seed: int = 0
+    config_overrides: tuple = ()
+
+    def key(self) -> tuple:
+        """The memo/disk identity (see :func:`simulation_key`)."""
+        return simulation_key(
+            self.trace,
+            self.scale,
+            self.l1,
+            self.l2,
+            self.kind,
+            self.split_l1,
+            self.block_size,
+            self.seed,
+            self.config_overrides,
+        )
+
+    def cost(self) -> int:
+        """Rough relative cost, for longest-job-first scheduling.
+
+        Trace length dominates; the no-inclusion organisation pays
+        roughly double (every bus transaction percolates to level 1).
+        """
+        refs = get_spec(self.trace, self.scale).total_refs
+        if self.kind is HierarchyKind.RR_NO_INCLUSION:
+            refs *= 2
+        return refs
+
+
+def _grid_jobs(
+    scale: float,
+    size_pairs: list[tuple[str, str]],
+    kinds: tuple[HierarchyKind, ...],
+    split_values: tuple[bool, ...] = (False,),
+) -> list[SimJob]:
+    return [
+        SimJob(trace, scale, l1, l2, kind, split_l1=split)
+        for trace in workload_names()
+        for l1, l2 in size_pairs
+        for kind in kinds
+        for split in split_values
+    ]
+
+
+def _plan_table6(scale: float) -> list[SimJob]:
+    return _grid_jobs(
+        scale, SIZE_PAIRS, (HierarchyKind.VR, HierarchyKind.RR_INCLUSION)
+    )
+
+
+def _plan_table7(scale: float) -> list[SimJob]:
+    return _grid_jobs(
+        scale, SMALL_SIZE_PAIRS, (HierarchyKind.VR, HierarchyKind.RR_INCLUSION)
+    )
+
+
+def _plan_table8_10(scale: float) -> list[SimJob]:
+    return _grid_jobs(
+        scale, SIZE_PAIRS, (HierarchyKind.VR,), split_values=(True, False)
+    )
+
+
+def _plan_table11_13(scale: float) -> list[SimJob]:
+    return _grid_jobs(
+        scale,
+        SIZE_PAIRS,
+        (
+            HierarchyKind.VR,
+            HierarchyKind.RR_INCLUSION,
+            HierarchyKind.RR_NO_INCLUSION,
+        ),
+    )
+
+
+def _plan_ablation(scale: float) -> list[SimJob]:
+    return [
+        SimJob(trace, scale, "16K", "256K", kind, config_overrides=overrides)
+        for trace, kind, overrides in ablation.simulation_cases(scale)
+    ]
+
+
+#: Experiment id -> planner.  Ids absent here (table1/2/3/5: trace
+#: statistics and closed-form models, no machine simulations) plan to
+#: nothing and run serially as before.
+PLANNERS = {
+    "table6": _plan_table6,
+    "table7": _plan_table7,
+    "figures": _plan_table6,  # figures reuse the Table 6 grid
+    "table8_10": _plan_table8_10,
+    "table11_13": _plan_table11_13,
+    "ablation": _plan_ablation,
+}
+
+
+def plan_jobs(experiment_ids: list[str], scale: float) -> list[SimJob]:
+    """The deduplicated jobs behind *experiment_ids*, costliest first.
+
+    Longest-job-first keeps the pool's tail short: the biggest
+    simulations start immediately instead of serialising at the end.
+    """
+    jobs: set[SimJob] = set()
+    for experiment_id in experiment_ids:
+        planner = PLANNERS.get(experiment_id)
+        if planner is not None:
+            jobs.update(planner(scale))
+    return sorted(jobs, key=lambda job: (-job.cost(), repr(job)))

@@ -1,0 +1,125 @@
+"""The worker pool: fan simulation jobs out across processes.
+
+The parent first resolves every job against the in-process memo and
+the disk cache; only true misses are submitted.  Workers receive the
+*job description* — never trace records — and regenerate the trace
+locally from its seed, which keeps the submission payload tiny and
+the generation cost parallel too.  Each worker installs the parent's
+:class:`RunOptions`, runs :func:`repro.experiments.base.simulate`
+(writing the disk cache as a side effect), and ships the pickled
+:class:`SimulationResult` back; the parent seeds the memo so the
+experiment runners then find every simulation precomputed.
+
+Simulations are deterministic and jobs are deduplicated upstream, so
+results are bit-identical to a serial run and no two workers ever
+race on the same cache entry.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from time import perf_counter
+
+from ..experiments import base
+from ..system.multiprocessor import SimulationResult
+from .disk_cache import get_cache
+from .planner import SimJob
+
+
+@dataclass
+class RunReport:
+    """How a :func:`run_jobs` call was satisfied.
+
+    ``executed`` counts simulations actually replayed (in workers or,
+    for a single pending job, inline); the rest were cache hits.
+    """
+
+    total_jobs: int = 0
+    memo_hits: int = 0
+    disk_hits: int = 0
+    executed: int = 0
+    n_workers: int = 1
+    elapsed_s: float = 0.0
+    timings: dict[str, float] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        """One status line for the CLI."""
+        return (
+            f"{self.total_jobs} simulations: {self.executed} run "
+            f"({self.n_workers} workers), {self.disk_hits} from disk cache, "
+            f"{self.memo_hits} memoised [{self.elapsed_s:.1f}s]"
+        )
+
+
+def _execute_job(job: SimJob, options: base.RunOptions) -> tuple[SimJob, SimulationResult, int]:
+    """Worker entry point: simulate *job* under *options*.
+
+    Returns the job, its result, and how many simulations were
+    actually replayed here (0 when another run's disk entry appeared
+    in the meantime).
+    """
+    base.set_run_options(options)
+    before = base.executed_simulations()
+    result = base.simulate(
+        job.trace,
+        job.scale,
+        job.l1,
+        job.l2,
+        job.kind,
+        split_l1=job.split_l1,
+        block_size=job.block_size,
+        seed=job.seed,
+        config_overrides=job.config_overrides,
+    )
+    return job, result, base.executed_simulations() - before
+
+
+def run_jobs(jobs: list[SimJob], n_workers: int | None = None) -> RunReport:
+    """Pre-compute *jobs* under the installed run options.
+
+    After this returns, every job's result sits in the simulation
+    memo (and on disk when a cache directory is configured), so the
+    experiment runners replay nothing.  With ``n_workers <= 1`` or at
+    most one pending job, everything runs in-process — same results,
+    no pool overhead.
+    """
+    started = perf_counter()
+    options = base.get_run_options()
+    report = RunReport(
+        total_jobs=len(jobs),
+        n_workers=max(1, n_workers if n_workers is not None else os.cpu_count() or 1),
+    )
+
+    pending: list[SimJob] = []
+    disk = get_cache(options.cache_dir) if options.cache_dir is not None else None
+    for job in jobs:
+        key = job.key()
+        if base.memo_get(key) is not None:
+            report.memo_hits += 1
+            continue
+        if disk is not None:
+            stored = disk.load(base.disk_key(key, options))
+            if stored is not None:
+                base.seed_memo(key, stored)
+                report.disk_hits += 1
+                continue
+        pending.append(job)
+
+    if report.n_workers <= 1 or len(pending) <= 1:
+        for job in pending:
+            _, _, executed = _execute_job(job, options)
+            report.executed += executed
+        report.elapsed_s = perf_counter() - started
+        return report
+
+    workers = min(report.n_workers, len(pending))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(_execute_job, job, options) for job in pending]
+        for future in as_completed(futures):
+            job, result, executed = future.result()
+            base.seed_memo(job.key(), result)
+            report.executed += executed
+    report.elapsed_s = perf_counter() - started
+    return report

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from collections.abc import Iterable
+from time import perf_counter
 from typing import Any
 
 from ..coherence.bus import Bus, MainMemory
@@ -50,11 +51,15 @@ class SimulationResult:
         per_cpu: one :class:`HierarchyStats` per CPU, in CPU order.
         bus_transactions: bus transaction counts by type.
         refs_processed: memory references simulated.
+        timings: per-phase wall-clock seconds ("trace_gen_s",
+            "replay_s", "guard_s"); informational only — never part
+            of equality-relevant experiment data.
     """
 
     per_cpu: list[HierarchyStats]
     bus_transactions: dict[str, int] = field(default_factory=dict)
     refs_processed: int = 0
+    timings: dict[str, float] = field(default_factory=dict)
 
     def aggregate(self) -> HierarchyStats:
         """Machine-wide statistics (sum over CPUs)."""
@@ -147,10 +152,66 @@ class Multiprocessor:
         number of references already replayed so scheduled faults and
         check pacing see absolute indices.
         """
+        started = perf_counter()
+        guard_seconds = 0.0
+        if (
+            injector is None
+            and guard is None
+            and not check_values
+            and max_refs is None
+        ):
+            refs = self._run_fast(records)
+        else:
+            refs, guard_seconds = self._run_general(
+                records, check_values, max_refs, injector, guard, ref_offset
+            )
+        timings = {"replay_s": perf_counter() - started}
+        if guard is not None:
+            timings["guard_s"] = guard_seconds
+        return SimulationResult(
+            per_cpu=[hier.stats for hier in self.hierarchies],
+            bus_transactions=self.bus.stats.as_dict(),
+            refs_processed=refs,
+            timings=timings,
+        )
+
+    def _run_fast(self, records: Iterable[TraceRecord]) -> int:
+        """The unguarded replay loop — every attribute hoisted into a
+        local, with the reference-class dispatch reduced to two
+        identity compares (only CSWITCH and CALL are not memory)."""
+        hierarchies = self.hierarchies
+        cswitch = RefKind.CSWITCH
+        call = RefKind.CALL
+        refs = 0
+        for record in records:
+            kind = record.kind
+            if kind is cswitch:
+                hierarchies[record.cpu].context_switch(record.pid)
+                continue
+            if kind is call:
+                continue
+            hierarchies[record.cpu].access(record.pid, record.vaddr, kind)
+            refs += 1
+        return refs
+
+    def _run_general(
+        self,
+        records: Iterable[TraceRecord],
+        check_values: bool,
+        max_refs: int | None,
+        injector: Any,
+        guard: Any,
+        ref_offset: int,
+    ) -> tuple[int, float]:
+        """The fully instrumented replay loop (oracle, faults, guard).
+
+        Returns (references replayed, seconds spent in the guard).
+        """
         if guard is not None:
             guard.watch(self.bus, self.hierarchies)
         oracle: dict[int, int] = {}
         block_bits = self.config.l1.block_bits
+        guard_seconds = 0.0
         refs = 0
         for record in records:
             if max_refs is not None and refs >= max_refs:
@@ -172,17 +233,21 @@ class Multiprocessor:
                 # guard sweeps, repairs and replays.
                 if guard is None:
                     raise
+                guard_started = perf_counter()
                 recovered = guard.on_access_error(
                     hier, record.pid, record.vaddr, kind, ref_offset + refs + 1
                 )
+                guard_seconds += perf_counter() - guard_started
                 if recovered is None:
                     raise
                 result = recovered
             refs += 1
             if guard is not None:
+                guard_started = perf_counter()
                 replay = guard.after_access(
                     hier, record.pid, record.vaddr, kind, ref_offset + refs
                 )
+                guard_seconds += perf_counter() - guard_started
                 if replay is not None:
                     result = replay
             if check_values:
@@ -198,11 +263,7 @@ class Multiprocessor:
                             f"of block {pblock:#x}, expected {expected} "
                             f"(outcome {result.outcome.value})"
                         )
-        return SimulationResult(
-            per_cpu=[hier.stats for hier in self.hierarchies],
-            bus_transactions=self.bus.stats.as_dict(),
-            refs_processed=refs,
-        )
+        return refs, guard_seconds
 
     def settle(self) -> None:
         """Drain every write buffer (end-of-run bookkeeping)."""
