@@ -21,9 +21,7 @@ from time import perf_counter
 from repro.coherence.bus import Bus, MainMemory
 from repro.hierarchy.config import HierarchyConfig, HierarchyKind
 from repro.hierarchy.twolevel import TwoLevelHierarchy
-from repro.mmu.address_space import MemoryLayout
 from repro.system.multiprocessor import Multiprocessor
-from repro.trace.record import RefKind
 from repro.trace.synthetic import SyntheticWorkload, WorkloadSpec
 
 from conftest import RESULTS_DIR

@@ -1,0 +1,107 @@
+"""Perf-regression gate: diff measured throughput against the baseline.
+
+Reads the ``BENCH_throughput.json`` that
+``benchmarks/bench_throughput.py`` writes and compares its replay
+throughput against ``benchmarks/baseline_throughput.json``.  The
+baseline's ``floor_divisor`` absorbs the gap between the development
+machine and slower CI runners; the ``--tolerance`` (default 10%) is
+applied on top of that floor so jitter near the boundary does not flap
+the gate.  Exit status 0 means "no regression", 1 means the measured
+rate fell below the tolerated floor, 2 means an input file is missing
+or malformed.
+
+Stdlib only — runs anywhere the repo checks out::
+
+    python benchmarks/check_throughput.py
+    python benchmarks/check_throughput.py --tolerance 0.05
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+DEFAULT_MEASURED = HERE / "results" / "BENCH_throughput.json"
+DEFAULT_BASELINE = HERE / "baseline_throughput.json"
+
+
+def load(path: Path) -> dict:
+    """Parse *path* as JSON, exiting 2 with a message on failure."""
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        sys.exit(f"check_throughput: missing {path} (run bench_throughput.py first)")
+    except (OSError, json.JSONDecodeError) as exc:
+        sys.exit(f"check_throughput: cannot read {path}: {exc}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Compare measured vs baseline throughput; return the exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--measured",
+        type=Path,
+        default=DEFAULT_MEASURED,
+        help="BENCH_throughput.json from bench_throughput.py",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help="recorded baseline (default: benchmarks/baseline_throughput.json)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="fraction of the floor forgiven before failing (default: 0.10)",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.tolerance < 1.0:
+        parser.error("--tolerance must be in [0, 1)")
+
+    measured = load(args.measured)
+    baseline = load(args.baseline)
+    for key in ("replay_refs_per_s", "floor_divisor"):
+        if key not in baseline:
+            sys.exit(f"check_throughput: baseline lacks {key!r}")
+    if "replay_refs_per_s" not in measured:
+        sys.exit("check_throughput: measured file lacks 'replay_refs_per_s'")
+
+    base_workload = baseline.get("workload")
+    meas_workload = measured.get("workload")
+    if base_workload is not None and meas_workload is not None:
+        if meas_workload != base_workload:
+            sys.exit(
+                "check_throughput: workload mismatch — measured "
+                f"{meas_workload} vs baseline {base_workload}; the "
+                "comparison would be meaningless"
+            )
+
+    rate = float(measured["replay_refs_per_s"])
+    floor = float(baseline["replay_refs_per_s"]) / float(baseline["floor_divisor"])
+    threshold = floor * (1.0 - args.tolerance)
+    verdict = "ok" if rate >= threshold else "REGRESSION"
+    print(
+        f"replay throughput: {rate:,.0f} refs/s; floor "
+        f"{floor:,.0f} (baseline {float(baseline['replay_refs_per_s']):,.0f} "
+        f"/ {baseline['floor_divisor']}), tolerance {args.tolerance:.0%} "
+        f"-> threshold {threshold:,.0f} refs/s: {verdict}"
+    )
+    if rate < threshold:
+        print(
+            "check_throughput: measured replay throughput regressed below "
+            "the tolerated floor; investigate recent hot-path changes or, "
+            "if the slowdown is intended, re-record "
+            "benchmarks/baseline_throughput.json",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,6 +25,7 @@ from ..hierarchy.config import (
     Protocol,
     min_l2_associativity_for_strict_inclusion,
 )
+from ..obs.metrics import COHERENCE_TO_L1_METRICS
 from ..perf.tables import render
 from ..trace.workloads import get_spec
 from .base import ExperimentResult, default_scale, simulate, trace_records
@@ -119,12 +120,12 @@ def context_switch_policies(scale: float) -> dict[str, dict[str, float]]:
     out = {}
     for name, kwargs in policies.items():
         result = _sim("abaqus", scale, **kwargs)
-        totals = result.aggregate()
+        metrics = result.metrics()
         out[name] = {
             "h1": result.h1,
             "h2": result.h2,
-            "swapped_writebacks": totals.counters["swapped_writebacks"],
-            "writeback_stalls": totals.counters["writeback_stalls"],
+            "swapped_writebacks": metrics.value("wb.swapped_push"),
+            "writeback_stalls": metrics.value("wb.stall"),
         }
     return out
 
@@ -134,7 +135,7 @@ def inclusion_invalidation_sweep(scale: float) -> dict[int, int]:
     out = {}
     for assoc in (1, 2, 4):
         result = _sim("pops", scale, l1_associativity=2, l2_associativity=assoc)
-        out[assoc] = result.aggregate().counters["l1_inclusion_invalidations"]
+        out[assoc] = result.metrics().value("l1.inclusion.invalidate")
     return out
 
 
@@ -143,10 +144,10 @@ def write_buffer_sweep(scale: float) -> dict[int, dict[str, int]]:
     out = {}
     for capacity in (1, 2, 4, 8):
         result = _sim("pops", scale, write_buffer_capacity=capacity)
-        totals = result.aggregate()
+        metrics = result.metrics()
         out[capacity] = {
-            "stalls": totals.counters["writeback_stalls"],
-            "writebacks": totals.counters["writebacks"],
+            "stalls": metrics.value("wb.stall"),
+            "writebacks": metrics.value("wb.push"),
         }
     return out
 
@@ -167,15 +168,15 @@ def write_policy_comparison(scale: float) -> dict[str, dict[str, float]]:
         result = _sim(
             "pops", scale, l1_write_policy=policy, write_buffer_capacity=capacity
         )
-        totals = result.aggregate()
-        refs = totals.l1_refs()
+        metrics = result.metrics()
+        refs = metrics.total(prefix="l1.hit.") + metrics.total(prefix="l1.miss.")
         out[label] = {
             "h1": result.h1,
-            "stalls_per_1k_refs": 1000 * totals.counters["writeback_stalls"]
+            "stalls_per_1k_refs": 1000 * metrics.value("wb.stall")
             / max(refs, 1),
-            "downstream_writes": totals.counters["writebacks"]
-            + totals.counters["wt_writes"]
-            - totals.counters["wt_write_merges"],
+            "downstream_writes": metrics.value("wb.push")
+            + metrics.value("wb.wt_write")
+            - metrics.value("wb.wt_merge"),
         }
     return out
 
@@ -189,18 +190,12 @@ def protocol_comparison(scale: float) -> dict[str, dict[str, int]]:
         ("update", Protocol.WRITE_UPDATE),
     ):
         result = _sim("thor", scale, protocol=protocol)
-        totals = result.aggregate()
+        metrics = result.metrics()
         out[label] = {
-            "l1_misses": totals.l1_refs() - int(
-                totals.l1_hit_ratio() * totals.l1_refs()
-            ),
-            "coherence_to_l1": sum(
-                s.coherence_to_l1() for s in result.per_cpu
-            ),
-            "bus_coherence_txns": sum(
-                count
-                for op, count in result.bus_transactions.items()
-                if op in ("invalidate", "read_modified_write", "write_update")
+            "l1_misses": metrics.total(prefix="l1.miss."),
+            "coherence_to_l1": metrics.total(*COHERENCE_TO_L1_METRICS),
+            "bus_coherence_txns": metrics.total(
+                "bus.invalidate", "bus.read_modified_write", "bus.write_update"
             ),
         }
     return out
@@ -223,11 +218,10 @@ def memory_traffic_comparison(scale: float) -> dict[str, dict[str, float]]:
 
     # Two-level V-R: memory traffic is what reaches the bus.
     result = _sim("pops", scale)
-    refs = result.refs_processed
-    bus_traffic = sum(
-        count
-        for op, count in result.bus_transactions.items()
-        if op in ("read_miss", "read_modified_write", "write_back")
+    metrics = result.metrics()
+    refs = metrics.value("sim.refs")
+    bus_traffic = metrics.total(
+        "bus.read_miss", "bus.read_modified_write", "bus.write_back"
     )
     out["V-R two-level (16K + 256K)"] = {
         "traffic_per_1k": 1000 * bus_traffic / refs,

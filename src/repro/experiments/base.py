@@ -29,6 +29,8 @@ from ..faults import (
 )
 from ..hierarchy.config import HierarchyConfig, HierarchyKind
 from ..mmu.address_space import MemoryLayout
+from ..obs import get_tracer
+from ..obs.recorder import get_recorder
 from ..system.multiprocessor import Multiprocessor, SimulationResult
 from ..trace.record import TraceRecord
 from ..trace.workloads import get_spec, make_workload
@@ -181,6 +183,7 @@ def clear_caches() -> None:
     _trace_cache.clear()
     _sim_cache.clear()
     _executed_simulations = 0
+    get_recorder().clear()
     if _run_options.cache_dir is not None:
         from ..runner.disk_cache import get_cache
 
@@ -257,7 +260,9 @@ def seed_memo(key: tuple, result: SimulationResult) -> None:
     The pool calls this with worker-produced results; the key must
     come from :func:`simulation_key` under the same installed options.
     """
-    _sim_cache[key + (_run_options,)] = result
+    cache_key = key + (_run_options,)
+    _sim_cache[cache_key] = result
+    get_recorder().record(cache_key, result)
 
 
 def simulate(
@@ -301,15 +306,21 @@ def simulate(
     cache_key = key + (options,)
     cached = _sim_cache.get(cache_key)
     if cached is not None:
+        get_recorder().record(cache_key, cached)
         return cached
     disk = None
-    if options.cache_dir is not None:
+    # With a tracer attached, the disk cache is bypassed entirely: the
+    # event stream only exists when the simulation actually replays, so
+    # a disk hit would leave trace counts short of the metrics counts
+    # (and storing a traced run would be redundant with an untraced one).
+    if options.cache_dir is not None and get_tracer() is None:
         from ..runner.disk_cache import get_cache
 
         disk = get_cache(options.cache_dir)
         stored = disk.load(disk_key(key, options))
         if stored is not None:
             _sim_cache[cache_key] = stored
+            get_recorder().record(cache_key, stored)
             return stored
     gen_started = perf_counter()
     records, layout = trace_records(trace_name, scale)
@@ -362,6 +373,7 @@ def simulate(
     result.timings["trace_gen_s"] = trace_gen_s
     _executed_simulations += 1
     _sim_cache[cache_key] = result
+    get_recorder().record(cache_key, result)
     if disk is not None:
         disk.store(disk_key(key, options), result)
     return result

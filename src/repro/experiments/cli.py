@@ -26,10 +26,24 @@ results of every experiment that completed; re-running with the same
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
+from pathlib import Path
 
+from ..common.errors import ConfigurationError
+from ..obs import (
+    EventTracer,
+    RunManifest,
+    configure,
+    get_logger,
+    get_recorder,
+    parse_categories,
+    set_tracer,
+)
+from ..obs.log import LEVELS
+from ..obs.tracing import CATEGORIES
 from . import (
     RunOptions,
     default_scale,
@@ -37,6 +51,8 @@ from . import (
     get_runner,
     set_run_options,
 )
+
+logger = get_logger("cli")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -130,6 +146,44 @@ def build_parser() -> argparse.ArgumentParser:
         default=50_000,
         help="trace records between checkpoints (default: 50000)",
     )
+    obs = parser.add_argument_group("observability")
+    obs.add_argument(
+        "--trace",
+        nargs="?",
+        const="all",
+        default=None,
+        metavar="CATS",
+        help=(
+            "emit structured trace events to a JSONL file; CATS is a "
+            f"comma list from {{{','.join(sorted(CATEGORIES))}}} "
+            "(bare --trace = all). Forces --jobs 1 and bypasses the "
+            "result cache so every event is really generated"
+        ),
+    )
+    obs.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "trace JSONL destination (default: derived from "
+            "--metrics-out, else repro-trace.jsonl)"
+        ),
+    )
+    obs.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write the run's merged metrics snapshot (JSON) here, "
+            "plus a run manifest next to it"
+        ),
+    )
+    obs.add_argument(
+        "--log-level",
+        choices=list(LEVELS),
+        default="info",
+        help="diagnostic verbosity on stderr (default: info)",
+    )
     return parser
 
 
@@ -141,25 +195,95 @@ def _precompute(ids: list[str], scale: float, jobs: int) -> None:
     if not planned:
         return
     report = run_jobs(planned, jobs)
-    print(f"[runner: {report.describe()}]", file=sys.stderr)
+    logger.info("runner: %s", report.describe())
+
+
+def _trace_destination(args: argparse.Namespace) -> Path:
+    """Where the trace JSONL goes for this invocation."""
+    if args.trace_out is not None:
+        return Path(args.trace_out)
+    if args.metrics_out is not None:
+        return Path(args.metrics_out).with_suffix(".trace.jsonl")
+    return Path("repro-trace.jsonl")
+
+
+def _write_outputs(
+    args: argparse.Namespace,
+    ids: list[str],
+    scale: float,
+    options: RunOptions,
+    timings: dict[str, float],
+    tracer: EventTracer | None,
+    trace_path: Path | None,
+) -> None:
+    """Write the metrics snapshot and the run manifest (if requested)."""
+    recorder = get_recorder()
+    snapshot = recorder.registry().snapshot()
+    manifest_path: Path | None = None
+    if args.metrics_out is not None:
+        metrics_path = Path(args.metrics_out)
+        metrics_path.parent.mkdir(parents=True, exist_ok=True)
+        metrics_path.write_text(
+            json.dumps(snapshot, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        logger.info("metrics snapshot: %s", metrics_path)
+        manifest_path = metrics_path.with_suffix(".manifest.json")
+    elif trace_path is not None:
+        manifest_path = trace_path.with_suffix(".manifest.json")
+    if manifest_path is None:
+        return
+    trace_info: dict = {}
+    if tracer is not None:
+        trace_info = {
+            "path": str(trace_path),
+            "categories": sorted(tracer.categories),
+            "events": tracer.counts.as_dict(),
+            "emitted": tracer.emitted,
+        }
+    manifest = RunManifest.create(
+        ids,
+        scale,
+        options=options,
+        timings_s=timings,
+        metrics=snapshot,
+        trace=trace_info,
+        simulations=len(recorder),
+    )
+    manifest.write(manifest_path)
+    logger.info("run manifest: %s", manifest_path)
 
 
 def main(argv: list[str] | None = None) -> int:
     """Run the CLI; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    configure(args.log_level)
     if args.check_every is not None and args.check_every < 1:
-        print("--check-every must be >= 1", file=sys.stderr)
+        logger.error("--check-every must be >= 1")
         return 2
     if args.checkpoint_every < 1:
-        print("--checkpoint-every must be >= 1", file=sys.stderr)
+        logger.error("--checkpoint-every must be >= 1")
         return 2
     if not 0.0 <= args.fault_rate <= 1.0:
-        print("--fault-rate must be a probability in [0, 1]", file=sys.stderr)
+        logger.error("--fault-rate must be a probability in [0, 1]")
         return 2
     if args.jobs is not None and args.jobs < 1:
-        print("--jobs must be >= 1", file=sys.stderr)
+        logger.error("--jobs must be >= 1")
         return 2
+    tracer = None
+    trace_path: Path | None = None
+    if args.trace is not None:
+        try:
+            categories = parse_categories(args.trace)
+        except ConfigurationError as exc:
+            logger.error("%s", exc)
+            return 2
+        trace_path = _trace_destination(args)
+        trace_path.parent.mkdir(parents=True, exist_ok=True)
+        sink = open(trace_path, "w", encoding="utf-8")
+        tracer = EventTracer(categories, sink=sink)
     ids = experiment_ids() if args.experiment == "all" else [args.experiment]
+    scale = args.scale if args.scale is not None else default_scale()
     cache_dir = args.cache_dir
     if args.no_cache:
         cache_dir = None
@@ -167,17 +291,18 @@ def main(argv: list[str] | None = None) -> int:
         from ..runner import default_cache_dir
 
         cache_dir = default_cache_dir()
-    previous = set_run_options(
-        RunOptions(
-            check_every=args.check_every,
-            guard_policy=args.guard_policy,
-            fault_rate=args.fault_rate,
-            fault_seed=args.fault_seed,
-            checkpoint_dir=args.checkpoint,
-            checkpoint_every=args.checkpoint_every,
-            cache_dir=cache_dir,
-        )
+    options = RunOptions(
+        check_every=args.check_every,
+        guard_policy=args.guard_policy,
+        fault_rate=args.fault_rate,
+        fault_seed=args.fault_seed,
+        checkpoint_dir=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        cache_dir=cache_dir,
     )
+    previous = set_run_options(options)
+    set_tracer(tracer)
+    get_recorder().clear()
     profiler = None
     if args.profile:
         import cProfile
@@ -185,18 +310,30 @@ def main(argv: list[str] | None = None) -> int:
         profiler = cProfile.Profile()
         profiler.enable()
     completed = 0
+    timings: dict[str, float] = {}
+    run_started = time.time()
     try:
         jobs = args.jobs if args.jobs is not None else os.cpu_count() or 1
+        if tracer is not None and jobs > 1:
+            # One process, one replay per unique simulation: event
+            # counts then provably equal the metrics counts.
+            logger.info("tracing active: forcing --jobs 1")
+            jobs = 1
         if jobs > 1:
-            _precompute(ids, args.scale or default_scale(), jobs)
+            _precompute(ids, scale, jobs)
         for experiment_id in ids:
             started = time.time()
             result = get_runner(experiment_id)(scale=args.scale)
             elapsed = time.time() - started
+            timings[experiment_id] = round(elapsed, 3)
             print(result.render())
-            print(f"[{experiment_id} completed in {elapsed:.1f}s]")
             print()
+            logger.info("%s completed in %.1fs", experiment_id, elapsed)
             completed += 1
+        timings["total_s"] = round(time.time() - run_started, 3)
+        if tracer is not None:
+            tracer.close()
+        _write_outputs(args, ids, scale, options, timings, tracer, trace_path)
     except BrokenPipeError:
         # Output piped into a pager/head that closed early: not an error.
         return 0
@@ -204,20 +341,22 @@ def main(argv: list[str] | None = None) -> int:
         # Flush what finished, report, and exit with the conventional
         # SIGINT code.  Checkpointed simulations resume on re-run.
         sys.stdout.flush()
-        print(
-            f"\ninterrupted: {completed}/{len(ids)} experiment(s) completed",
-            file=sys.stderr,
+        logger.warning(
+            "interrupted: %d/%d experiment(s) completed", completed, len(ids)
         )
         return 130
     finally:
         set_run_options(previous)
+        if tracer is not None:
+            set_tracer(None)
+            tracer.close()
         if profiler is not None:
             import pstats
 
             profiler.disable()
             stats = pstats.Stats(profiler, stream=sys.stderr)
             stats.sort_stats("cumulative")
-            print("\n-- profile (top 30 by cumulative time) --", file=sys.stderr)
+            logger.info("profile (top 30 by cumulative time) follows")
             stats.print_stats(30)
     return 0
 

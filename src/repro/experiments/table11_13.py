@@ -9,6 +9,7 @@ organisations: V-R, R-R with inclusion, and R-R without inclusion
 from __future__ import annotations
 
 from ..hierarchy.config import HierarchyKind
+from ..obs.metrics import COHERENCE_TO_L1_METRICS
 from ..perf.tables import render
 from ..trace.workloads import get_spec, workload_names
 from .base import SIZE_PAIRS, ExperimentResult, default_scale, simulate
@@ -30,7 +31,10 @@ def coherence_messages(trace: str, scale: float) -> dict[str, dict[str, list[int
         cell: dict[str, list[int]] = {}
         for kind, label in _KINDS:
             result = simulate(trace, scale, l1, l2, kind)
-            cell[label] = [stats.coherence_to_l1() for stats in result.per_cpu]
+            cell[label] = [
+                result.metrics(cpu).total(*COHERENCE_TO_L1_METRICS)
+                for cpu in range(len(result.per_cpu))
+            ]
         out[f"{l1}/{l2}"] = cell
     return out
 

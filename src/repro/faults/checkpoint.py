@@ -301,4 +301,7 @@ def run_checkpointed(
         per_cpu=[hier.stats for hier in machine.hierarchies],
         bus_transactions=machine.bus.stats.as_dict(),
         refs_processed=refs_done,
+        tlb_per_cpu=[
+            hier.tlb.stats.as_dict() for hier in machine.hierarchies
+        ],
     )

@@ -36,7 +36,6 @@ On detection the configured :class:`GuardPolicy` applies:
 from __future__ import annotations
 
 import enum
-import logging
 from typing import Any
 
 from ..coherence.bus import Bus
@@ -52,9 +51,11 @@ from ..hierarchy.checker import (
     scan_tlb,
 )
 from ..hierarchy.twolevel import AccessResult, TwoLevelHierarchy
+from ..obs import get_tracer
+from ..obs.log import get_logger
 from ..trace.record import RefKind
 
-logger = logging.getLogger("repro.faults")
+logger = get_logger("faults")
 
 
 class GuardPolicy(enum.Enum):
@@ -94,6 +95,12 @@ class InvariantGuard:
         self.check_every = check_every
         self.full_every = full_every
         self.incidents: list[tuple[int, Violation]] = []
+        tracer = get_tracer()
+        # Pre-resolved "guard" category slot (see TwoLevelHierarchy
+        # .set_tracer for the pattern): None when untraced.
+        self._tr_guard = (
+            tracer if tracer is not None and tracer.wants("guard") else None
+        )
         self._hierarchies: dict[int, TwoLevelHierarchy] = {}
         # Per-CPU accumulators between due checks.
         self._touched: dict[int, set[tuple]] = {}
@@ -195,6 +202,10 @@ class InvariantGuard:
         if not repaired:
             return None
         hier.stats.counters.add("repair_replays")
+        if self._tr_guard is not None:
+            self._tr_guard.emit(
+                "guard", "replay", cpu=hier.cpu, access_index=access_index
+            )
         return hier.access(pid, vaddr, kind)
 
     def on_access_error(
@@ -232,6 +243,7 @@ class InvariantGuard:
                 if not violations:
                     continue
                 target.stats.counters.add("guard_violations", len(violations))
+                self._note_violations(target, violations, access_index)
                 for violation in violations:
                     self.incidents.append((access_index, violation))
                 self._repair(target, violations)
@@ -246,6 +258,10 @@ class InvariantGuard:
                         snapshot=self._snapshot(target, remaining),
                     )
             hier.stats.counters.add("repair_replays")
+            if self._tr_guard is not None:
+                self._tr_guard.emit(
+                    "guard", "replay", cpu=hier.cpu, access_index=access_index
+                )
             try:
                 return hier.access(pid, vaddr, kind)
             except (InclusionError, ProtocolError):
@@ -278,6 +294,7 @@ class InvariantGuard:
     ) -> bool:
         """Apply the policy; returns True when a replay is warranted."""
         hier.stats.counters.add("guard_violations", len(violations))
+        self._note_violations(hier, violations, access_index)
         if self.policy is GuardPolicy.FAIL_FAST:
             raise IntegrityError(
                 f"{len(violations)} invariant violation(s) detected: "
@@ -300,6 +317,12 @@ class InvariantGuard:
         for violation in violations:
             self.incidents.append((index, violation))
         self._repair(hier, violations)
+        logger.info(
+            "cpu %d: repaired %d violation(s) at access %s",
+            hier.cpu,
+            len(violations),
+            index,
+        )
         remaining = self._rescan(hier, violations)
         if remaining:
             raise IntegrityError(
@@ -311,6 +334,24 @@ class InvariantGuard:
                 snapshot=self._snapshot(hier, remaining),
             )
         return access_index is not None
+
+    def _note_violations(
+        self,
+        hier: TwoLevelHierarchy,
+        violations: list[Violation],
+        access_index: int | None,
+    ) -> None:
+        """Emit one structured trace event per detected violation."""
+        if self._tr_guard is None:
+            return
+        for violation in violations:
+            self._tr_guard.emit(
+                "guard",
+                "violation",
+                cpu=hier.cpu,
+                access_index=access_index if access_index is not None else 0,
+                site=str(violation.site),
+            )
 
     # -- repair -----------------------------------------------------------------
 
@@ -328,6 +369,10 @@ class InvariantGuard:
             elif site[0] == "tlb":
                 hier.tlb.scrub(site[1], site[2])
             hier.stats.counters.add("guard_repairs")
+            if self._tr_guard is not None:
+                self._tr_guard.emit(
+                    "guard", "repair", cpu=hier.cpu, site=str(site)
+                )
 
     def _detach_subentry(
         self, hier: TwoLevelHierarchy, set_index: int, way: int, sub_index: int

@@ -128,9 +128,17 @@ class FaultInjector:
     """
 
     def __init__(self, config: FaultConfig) -> None:
+        from ..obs import get_tracer
+
         self.config = config
         self.events: list[FaultEvent] = []
         self.stats = CounterBag()
+        tracer = get_tracer()
+        # Pre-resolved "fault" category slot (see TwoLevelHierarchy
+        # .set_tracer for the pattern): None when untraced.
+        self._tracer = (
+            tracer if tracer is not None and tracer.wants("fault") else None
+        )
         self._rng = random.Random(config.seed)
         self._metadata_kinds = tuple(
             k for k in METADATA_KINDS if config.probabilities.get(k, 0.0) > 0.0
@@ -167,6 +175,13 @@ class FaultInjector:
     def _record(self, access_index: int, kind: FaultKind, detail: str) -> None:
         self.events.append(FaultEvent(access_index, kind, detail))
         self.stats.add(f"injected_{kind.value}")
+        if self._tracer is not None:
+            self._tracer.emit(
+                "fault",
+                kind.value.replace("-", "_"),
+                access_index=access_index,
+                detail=detail,
+            )
 
     def _apply(
         self, hier: TwoLevelHierarchy, access_index: int, kind: FaultKind

@@ -39,8 +39,8 @@ from ..common.errors import InclusionError, ProtocolError
 from ..mmu.address_space import MemoryLayout
 from ..mmu.tlb import TLB
 from ..trace.record import RefKind
-from .config import HierarchyConfig, HierarchyKind, Protocol
-from .l1 import L1Cache, VSlot
+from .config import HierarchyConfig, Protocol
+from .l1 import L1Cache
 from .rcache import RCache, RCacheBlock, SubEntry
 from .stats import _L1_KEYS, HierarchyStats
 
@@ -130,6 +130,13 @@ class TwoLevelHierarchy:
         self._wb_entries = self.write_buffer._entries
         self._counts = self.stats.counters._counts
         self._split = len(self._l1s) == 2
+        # Per-category pre-resolved tracer slots (see set_tracer).
+        # All None means tracing is off and every emit site is one
+        # ``is None`` test; the per-access fast path carries none.
+        self._tr_syn = None
+        self._tr_incl = None
+        self._tr_wb = None
+        self._tr_coh = None
 
     # -- public API ---------------------------------------------------------
 
@@ -143,6 +150,21 @@ class TwoLevelHierarchy:
         if len(self._l1s) == 2 and kind is not RefKind.INSTR:
             return self._l1s[1]
         return self._l1s[0]
+
+    def set_tracer(self, tracer) -> None:
+        """Attach (or detach, with None) a structured event tracer.
+
+        Each category is resolved here once — a filtered-out category
+        leaves its slot None, so emit sites for it cost exactly what
+        tracing-off costs.
+        """
+        if tracer is None:
+            self._tr_syn = self._tr_incl = self._tr_wb = self._tr_coh = None
+            return
+        self._tr_syn = tracer if tracer.wants("synonym") else None
+        self._tr_incl = tracer if tracer.wants("inclusion") else None
+        self._tr_wb = tracer if tracer.wants("writeback") else None
+        self._tr_coh = tracer if tracer.wants("coherence") else None
 
     def access(self, pid: int, vaddr: int, kind: RefKind) -> AccessResult:
         """Process one memory reference from the local processor."""
@@ -339,6 +361,8 @@ class TwoLevelHierarchy:
             return
         if self.write_buffer.full:
             self.stats.counters.add("writeback_stalls")
+            if self._tr_wb is not None:
+                self._tr_wb.emit("writeback", "stall", cpu=self.cpu, pblock=pblock)
             self._drain_one()
         self.write_buffer.push(WriteBufferEntry(pblock, version))
         self._note_downstream_write()
@@ -432,7 +456,7 @@ class TwoLevelHierarchy:
                 child.valid = True
                 child.swapped_valid = False
                 l1.store.touch(child)
-                self._count_synonym(child_was_valid, sameset=True)
+                self._count_synonym(child_was_valid, True, pblock)
                 return child, True
             # Paper's *move*: the data migrates to the new location.
             victim = l1.victim(key)
@@ -442,7 +466,7 @@ class TwoLevelHierarchy:
             child.invalidate()
             sub.v_pointer = l1.slot(victim)
             l1.store.note_install(victim)
-            self._count_synonym(child_was_valid, sameset=False)
+            self._count_synonym(child_was_valid, False, pblock)
             return victim, True
 
         if sub.buffer:
@@ -485,6 +509,8 @@ class TwoLevelHierarchy:
             sub.v_pointer = l1.slot(victim)
             l1.store.note_install(victim)
             self.stats.counters.add("writeback_cancels")
+            if self._tr_wb is not None:
+                self._tr_wb.emit("writeback", "cancel", cpu=self.cpu, pblock=pblock)
             return victim, True
 
         if not self._inclusion:
@@ -499,6 +525,10 @@ class TwoLevelHierarchy:
                 victim.dirty = True
                 l1.store.note_install(victim)
                 self.stats.counters.add("writeback_cancels")
+                if self._tr_wb is not None:
+                    self._tr_wb.emit(
+                        "writeback", "cancel", cpu=self.cpu, pblock=pblock
+                    )
                 return victim, True
 
         # Plain supply from the level-2 data store.
@@ -511,13 +541,26 @@ class TwoLevelHierarchy:
         l1.store.note_install(victim)
         return victim, False
 
-    def _count_synonym(self, child_was_valid: bool, sameset: bool) -> None:
+    def _count_synonym(
+        self, child_was_valid: bool, sameset: bool, pblock: int
+    ) -> None:
         if child_was_valid:
             self.stats.counters.add(
                 "synonym_sameset" if sameset else "synonym_moves"
             )
+            if self._tr_syn is not None:
+                self._tr_syn.emit(
+                    "synonym",
+                    "sameset" if sameset else "move",
+                    cpu=self.cpu,
+                    pblock=pblock,
+                )
         else:
             self.stats.counters.add("swapped_restores")
+            if self._tr_syn is not None:
+                self._tr_syn.emit(
+                    "synonym", "swapped_restore", cpu=self.cpu, pblock=pblock
+                )
 
     # -- level-1 eviction and the write buffer ------------------------------------
 
@@ -551,11 +594,17 @@ class TwoLevelHierarchy:
     def _push_writeback(self, pblock: int, version: int, swapped: bool) -> None:
         if self.write_buffer.full:
             self.stats.counters.add("writeback_stalls")
+            if self._tr_wb is not None:
+                self._tr_wb.emit("writeback", "stall", cpu=self.cpu, pblock=pblock)
             self._drain_one()
         self.write_buffer.push(WriteBufferEntry(pblock, version, swapped))
         self.stats.counters.add("writebacks")
         if swapped:
             self.stats.counters.add("swapped_writebacks")
+        if self._tr_wb is not None:
+            self._tr_wb.emit(
+                "writeback", "push", cpu=self.cpu, pblock=pblock, swapped=swapped
+            )
         self._note_downstream_write()
 
     def _note_downstream_write(self) -> None:
@@ -637,6 +686,14 @@ class TwoLevelHierarchy:
             if sub.inclusion:
                 child = self._child_of(sub, pblock)
                 self.stats.counters.add("l1_inclusion_invalidations")
+                if self._tr_incl is not None:
+                    self._tr_incl.emit(
+                        "inclusion",
+                        "invalidate",
+                        cpu=self.cpu,
+                        pblock=pblock,
+                        dirty=child.dirty,
+                    )
                 if child.dirty:
                     self.bus.write_back(pblock, child.version)
                 elif sub.rdirty:
@@ -699,12 +756,20 @@ class TwoLevelHierarchy:
                 child = self._child_of(sub, txn.pblock)
                 child.version = txn.version
                 self.stats.counters.add("l1_coherence_updates")
+                if self._tr_coh is not None:
+                    self._tr_coh.emit(
+                        "coherence", "update", cpu=self.cpu, pblock=txn.pblock
+                    )
             return reply
 
         if op in (BusOp.READ_MISS, BusOp.READ_MODIFIED_WRITE):
             if sub.vdirty:
                 child = self._child_of(sub, txn.pblock)
                 self.stats.counters.add("l1_coherence_flushes")
+                if self._tr_coh is not None:
+                    self._tr_coh.emit(
+                        "coherence", "flush", cpu=self.cpu, pblock=txn.pblock
+                    )
                 reply.supplied_version = child.version
                 sub.version = child.version
                 child.dirty = False
@@ -719,6 +784,10 @@ class TwoLevelHierarchy:
                         pblock=txn.pblock,
                     )
                 self.stats.counters.add("l1_coherence_buffer_ops")
+                if self._tr_coh is not None:
+                    self._tr_coh.emit(
+                        "coherence", "buffer_op", cpu=self.cpu, pblock=txn.pblock
+                    )
                 reply.supplied_version = entry.version
                 sub.version = entry.version
                 sub.buffer = False
@@ -740,6 +809,10 @@ class TwoLevelHierarchy:
                 child = self._child_of(sub, txn.pblock)
                 child.invalidate()
                 self.stats.counters.add("l1_coherence_invalidations")
+                if self._tr_coh is not None:
+                    self._tr_coh.emit(
+                        "coherence", "invalidate", cpu=self.cpu, pblock=txn.pblock
+                    )
             sub.reset()
             rblock.refresh_valid()
         return reply
@@ -748,6 +821,14 @@ class TwoLevelHierarchy:
         # Without inclusion the level-2 cache cannot prove the block is
         # absent from level 1, so every coherence transaction descends.
         self.stats.counters.add("l1_coherence_probes")
+        if self._tr_coh is not None:
+            self._tr_coh.emit(
+                "coherence",
+                "probe",
+                cpu=self.cpu,
+                pblock=txn.pblock,
+                op=txn.op.value,
+            )
         paddr = txn.pblock << self._sub_bits
         l1_hits = [
             (l1, block)

@@ -14,7 +14,7 @@ for translations.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..common.errors import ConfigurationError, TranslationError
 from .page_table import FrameAllocator, PageTable, ReverseMap

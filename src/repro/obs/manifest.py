@@ -1,0 +1,136 @@
+"""Per-run manifests: what ran, under which code, producing what.
+
+A :class:`RunManifest` is the provenance record the CLI writes next
+to cached results (and next to ``--metrics-out`` files): experiment
+ids, trace scale, the installed run options, the schema hash the disk
+cache keyed results under, the git revision of the working tree,
+wall-clock timings, trace-sink details and the final merged metrics
+snapshot.  Re-running an experiment and diffing two manifests answers
+"did the numbers move, and did the code or only the wall-clock?"
+without replaying anything.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any
+
+FORMAT = "repro-run-manifest"
+VERSION = 1
+
+
+def git_revision() -> str | None:
+    """The working tree's HEAD (short), or None outside a checkout."""
+    import repro
+
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(repro.__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    rev = proc.stdout.strip()
+    return rev if proc.returncode == 0 and rev else None
+
+
+@dataclass
+class RunManifest:
+    """Everything needed to identify and compare one CLI run.
+
+    Attributes:
+        experiments: experiment ids in execution order.
+        scale: trace scale the run used.
+        options: the :class:`~repro.experiments.base.RunOptions`
+            fields, as a plain dict.
+        schema_hash: source digest the result cache keyed under.
+        git_rev: short HEAD revision, when available.
+        created_at: POSIX timestamp of manifest creation.
+        python: interpreter version string.
+        timings_s: per-experiment wall-clock seconds plus totals.
+        metrics: the merged registry snapshot (deterministic).
+        trace: tracer details (categories, sink path, event counts),
+            empty when tracing was off.
+        simulations: unique simulations whose metrics were merged.
+    """
+
+    experiments: list[str]
+    scale: float
+    options: dict[str, Any] = field(default_factory=dict)
+    schema_hash: str | None = None
+    git_rev: str | None = None
+    created_at: float = 0.0
+    python: str = ""
+    timings_s: dict[str, float] = field(default_factory=dict)
+    metrics: dict[str, Any] = field(default_factory=dict)
+    trace: dict[str, Any] = field(default_factory=dict)
+    simulations: int = 0
+
+    @classmethod
+    def create(
+        cls,
+        experiments: list[str],
+        scale: float,
+        options: Any = None,
+        timings_s: dict[str, float] | None = None,
+        metrics: dict[str, Any] | None = None,
+        trace: dict[str, Any] | None = None,
+        simulations: int = 0,
+    ) -> "RunManifest":
+        """Build a manifest, stamping environment provenance."""
+        from ..runner.disk_cache import schema_hash
+
+        options_dict: dict[str, Any] = {}
+        if options is not None:
+            options_dict = {
+                key: value
+                for key, value in asdict(options).items()
+                if value not in (None, 0, 0.0, False, ())
+            }
+        return cls(
+            experiments=list(experiments),
+            scale=scale,
+            options=options_dict,
+            schema_hash=schema_hash(),
+            git_rev=git_revision(),
+            created_at=time.time(),
+            python=platform.python_version(),
+            timings_s=dict(timings_s or {}),
+            metrics=dict(metrics or {}),
+            trace=dict(trace or {}),
+            simulations=simulations,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """The JSON wire form (format-tagged and versioned)."""
+        out: dict[str, Any] = {"format": FORMAT, "version": VERSION}
+        out.update(asdict(self))
+        return out
+
+    def write(self, path: str | Path) -> Path:
+        """Serialise to *path* (pretty, sorted, trailing newline)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RunManifest":
+        """Read a manifest written by :meth:`write`."""
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        if data.get("format") != FORMAT:
+            raise ValueError(f"{path} is not a {FORMAT} file")
+        data.pop("format", None)
+        data.pop("version", None)
+        return cls(**data)

@@ -93,7 +93,12 @@ def run_jobs(jobs: list[SimJob], n_workers: int | None = None) -> RunReport:
     )
 
     pending: list[SimJob] = []
-    disk = get_cache(options.cache_dir) if options.cache_dir is not None else None
+    # Tracing bypasses the disk cache (see base.simulate): every event
+    # must come from a real replay in this process.
+    from ..obs import get_tracer
+
+    use_disk = options.cache_dir is not None and get_tracer() is None
+    disk = get_cache(options.cache_dir) if use_disk else None
     for job in jobs:
         key = job.key()
         if base.memo_get(key) is not None:

@@ -54,12 +54,15 @@ class SimulationResult:
         timings: per-phase wall-clock seconds ("trace_gen_s",
             "replay_s", "guard_s"); informational only — never part
             of equality-relevant experiment data.
+        tlb_per_cpu: one TLB counter snapshot per CPU, in CPU order
+            (empty on results restored from pre-observability caches).
     """
 
     per_cpu: list[HierarchyStats]
     bus_transactions: dict[str, int] = field(default_factory=dict)
     refs_processed: int = 0
     timings: dict[str, float] = field(default_factory=dict)
+    tlb_per_cpu: list[dict[str, int]] = field(default_factory=list)
 
     def aggregate(self) -> HierarchyStats:
         """Machine-wide statistics (sum over CPUs)."""
@@ -77,6 +80,18 @@ class SimulationResult:
     def h2(self) -> float:
         """Machine-wide local level-2 hit ratio."""
         return self.aggregate().l2_hit_ratio()
+
+    def metrics(self, cpu: int | None = None) -> Any:
+        """This result projected into the unified metrics namespace.
+
+        Returns a :class:`repro.obs.MetricsRegistry` — machine-wide by
+        default, or one CPU's view with *cpu*.  The projection is a
+        pure function of the result's counters, so it is deterministic
+        and cache-safe.
+        """
+        from ..obs.metrics import registry_from_result
+
+        return registry_from_result(self, cpu=cpu)
 
 
 class Multiprocessor:
@@ -100,6 +115,7 @@ class Multiprocessor:
         config: HierarchyConfig,
         seed: int = 0,
         bus: Bus | None = None,
+        tracer: Any = None,
     ) -> None:
         self.layout = layout
         self.config = config
@@ -115,6 +131,15 @@ class Multiprocessor:
             )
             for cpu in range(n_cpus)
         ]
+        if tracer is None:
+            # Pick up the session tracer (if any) so embedding layers
+            # need no explicit plumbing to get machines traced.
+            from ..obs import get_tracer
+
+            tracer = get_tracer()
+        if tracer is not None:
+            for hier in self.hierarchies:
+                hier.set_tracer(tracer)
 
     @property
     def n_cpus(self) -> int:
@@ -173,6 +198,7 @@ class Multiprocessor:
             bus_transactions=self.bus.stats.as_dict(),
             refs_processed=refs,
             timings=timings,
+            tlb_per_cpu=[hier.tlb.stats.as_dict() for hier in self.hierarchies],
         )
 
     def _run_fast(self, records: Iterable[TraceRecord]) -> int:

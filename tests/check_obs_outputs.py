@@ -1,0 +1,84 @@
+"""Standalone check: trace, metrics snapshot and manifest agree.
+
+Used by CI after a traced run such as::
+
+    repro-experiment table6 --scale 0.02 \
+        --trace=synonym,inclusion --metrics-out obs-smoke/m.json
+    python -m tests.check_obs_outputs obs-smoke/m.json
+
+It replays the acceptance criterion of the observability layer: the
+number of ``synonym/move`` and ``inclusion/invalidate`` events in the
+JSONL trace must equal the ``r.synonym_move`` and
+``l1.inclusion.invalidate`` counters in the metrics snapshot, and the
+manifest's embedded metrics must be byte-for-byte the snapshot.
+Stdlib only; exits non-zero with a diagnostic on any mismatch.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from collections import Counter
+from pathlib import Path
+
+# (trace category, trace event name) -> metrics counter it must equal
+EVENT_TO_COUNTER = {
+    ("synonym", "move"): "r.synonym_move",
+    ("inclusion", "invalidate"): "l1.inclusion.invalidate",
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Validate the traced-run outputs rooted at the metrics path."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if len(argv) != 1:
+        print("usage: python -m tests.check_obs_outputs METRICS_JSON", file=sys.stderr)
+        return 2
+    metrics_path = Path(argv[0])
+    manifest_path = metrics_path.with_suffix(".manifest.json")
+    trace_path = metrics_path.with_suffix(".trace.jsonl")
+    for path in (metrics_path, manifest_path, trace_path):
+        if not path.is_file():
+            print(f"missing expected output: {path}", file=sys.stderr)
+            return 2
+
+    snapshot = json.loads(metrics_path.read_text(encoding="utf-8"))
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    events: Counter[tuple[str, str]] = Counter()
+    with trace_path.open(encoding="utf-8") as lines:
+        for line in lines:
+            record = json.loads(line)
+            events[(record["cat"], record["name"])] += 1
+
+    failures = []
+    counters = snapshot.get("counters", {})
+    for (category, name), counter_name in EVENT_TO_COUNTER.items():
+        traced = events.get((category, name), 0)
+        counted = counters.get(counter_name, 0)
+        status = "ok" if traced == counted else "MISMATCH"
+        print(
+            f"{category}/{name}: {traced} event(s) vs "
+            f"{counter_name} = {counted}: {status}"
+        )
+        if traced != counted:
+            failures.append(f"{category}/{name} != {counter_name}")
+
+    if manifest.get("metrics") != snapshot:
+        failures.append("manifest metrics differ from the snapshot file")
+        print("manifest metrics snapshot: MISMATCH")
+    else:
+        print("manifest metrics snapshot: ok")
+
+    unknown = [name for name in counters if name.startswith("misc.")]
+    if unknown:
+        failures.append(f"unmapped counters leaked into the namespace: {unknown}")
+
+    if failures:
+        print("check_obs_outputs FAILED: " + "; ".join(failures), file=sys.stderr)
+        return 1
+    print(f"check_obs_outputs: all checks passed ({sum(events.values())} events)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

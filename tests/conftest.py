@@ -6,7 +6,6 @@ import itertools
 
 import pytest
 
-from repro.cache.config import CacheConfig
 from repro.coherence.bus import Bus, MainMemory
 from repro.hierarchy.config import HierarchyConfig, HierarchyKind
 from repro.hierarchy.twolevel import TwoLevelHierarchy

@@ -6,11 +6,9 @@ and — the paper's headline claim — the shielding of the first-level
 cache by an inclusion-maintaining second level.
 """
 
-import pytest
 
 from repro.coherence.bus import Bus, MainMemory
 from repro.coherence.protocol import ShareState
-from repro.common.errors import ProtocolError
 from repro.hierarchy.checker import check_all, check_coherence
 from repro.hierarchy.config import HierarchyConfig, HierarchyKind
 from repro.hierarchy.twolevel import Outcome, TwoLevelHierarchy

@@ -26,9 +26,7 @@ from repro.faults import (
 from repro.hierarchy.checker import check_all
 from repro.hierarchy.config import HierarchyConfig
 from repro.system.multiprocessor import Multiprocessor
-from repro.trace.record import RefKind, TraceRecord
-from repro.trace.synthetic import SyntheticWorkload
-from tests.conftest import tiny_spec
+from repro.trace.record import RefKind
 
 #: The metadata fault mix the determinism and repair tests inject.
 METADATA_MIX = {

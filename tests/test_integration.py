@@ -9,7 +9,6 @@ import pytest
 
 from repro.experiments import clear_caches, simulate
 from repro.hierarchy.config import HierarchyKind
-from repro.trace.record import RefKind
 
 SCALE = 0.02
 
@@ -81,7 +80,6 @@ class TestPaperConclusions:
     def test_synonyms_resolved_not_duplicated(self):
         """V-R runs on all traces resolve synonyms through the
         second level (counters fire) without breaking invariants."""
-        from repro.hierarchy.checker import check_all
 
         result = simulate("abaqus", SCALE, "4K", "64K", HierarchyKind.VR)
         total = result.aggregate()

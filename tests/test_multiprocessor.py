@@ -6,7 +6,6 @@ from repro.common.errors import ProtocolError
 from repro.hierarchy.checker import check_all, check_coherence
 from repro.hierarchy.config import HierarchyConfig, HierarchyKind
 from repro.system.multiprocessor import Multiprocessor, SimulationResult
-from repro.trace.record import RefKind, TraceRecord
 from repro.trace.synthetic import SyntheticWorkload
 from tests.conftest import tiny_spec
 

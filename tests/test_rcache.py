@@ -1,6 +1,5 @@
 """Unit tests for the R-cache structure (subentries, sub-block math)."""
 
-import pytest
 
 from repro.cache.config import CacheConfig
 from repro.coherence.protocol import ShareState

@@ -30,7 +30,7 @@ from repro.experiments.base import (
     trace_records,
 )
 from repro.hierarchy.config import HierarchyKind
-from repro.runner import SimJob, plan_jobs, run_jobs
+from repro.runner import plan_jobs, run_jobs
 from repro.runner.disk_cache import ResultCache, get_cache, schema_hash
 
 SCALE = 0.004

@@ -9,7 +9,6 @@ and sub-block-granular coherence.
 
 import itertools
 
-import pytest
 
 from repro.coherence.bus import Bus, MainMemory
 from repro.hierarchy.checker import check_all

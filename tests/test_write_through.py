@@ -3,7 +3,6 @@ alternative) and the write-update coherence protocol."""
 
 import itertools
 
-import pytest
 
 from repro.coherence.bus import Bus, MainMemory
 from repro.coherence.protocol import ShareState, WritePolicy
@@ -14,7 +13,7 @@ from repro.mmu.address_space import MemoryLayout
 from repro.system.multiprocessor import Multiprocessor
 from repro.trace.record import RefKind
 from repro.trace.synthetic import SyntheticWorkload
-from tests.conftest import build_hierarchy, tiny_spec
+from tests.conftest import tiny_spec
 
 R, W = RefKind.READ, RefKind.WRITE
 
