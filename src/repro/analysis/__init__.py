@@ -1,0 +1,33 @@
+"""Static verification tooling: protocol model checker and lint pack.
+
+Two tools live here, both with console entry points:
+
+* ``repro-verify`` (:mod:`repro.analysis.verify`) — an explicit-state
+  model checker that drives a tiny two-processor machine through every
+  protocol-relevant event, enumerates the reachable quotient of
+  (V-cache state x R-subentry state x peer state x write-buffer
+  state) for one tracked physical block, and checks the DESIGN.md §5
+  invariants on every reachable state.
+* ``repro-lint`` (:mod:`repro.analysis.lint`) — a stdlib-``ast`` lint
+  pack with repo-specific rules (metric-name validity, tracer slot
+  discipline, ``__slots__`` on hot classes, no allocation in hot
+  loops).
+"""
+
+from .explore import ExplorationLimitError, ScenarioReport, Transition, explore
+from .lint import Finding, lint_paths, lint_source
+from .model import SCENARIOS, ProtocolModel, Scenario, snoop_table
+
+__all__ = [
+    "ExplorationLimitError",
+    "Finding",
+    "ProtocolModel",
+    "SCENARIOS",
+    "Scenario",
+    "ScenarioReport",
+    "Transition",
+    "explore",
+    "lint_paths",
+    "lint_source",
+    "snoop_table",
+]

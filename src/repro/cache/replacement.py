@@ -20,6 +20,8 @@ from ..common.errors import ConfigurationError
 class ReplacementPolicy(ABC):
     """Replacement state for every set of one cache."""
 
+    __slots__ = ("n_sets", "associativity")
+
     def __init__(self, n_sets: int, associativity: int) -> None:
         self.n_sets = n_sets
         self.associativity = associativity
@@ -47,6 +49,8 @@ class ReplacementPolicy(ABC):
 
 class LRUPolicy(ReplacementPolicy):
     """Least-recently-used: the paper's default at both levels."""
+
+    __slots__ = ("_order",)
 
     def __init__(self, n_sets: int, associativity: int) -> None:
         super().__init__(n_sets, associativity)
@@ -85,6 +89,8 @@ class LRUPolicy(ReplacementPolicy):
 class FIFOPolicy(ReplacementPolicy):
     """First-in-first-out: order set at install time only."""
 
+    __slots__ = ("_order",)
+
     def __init__(self, n_sets: int, associativity: int) -> None:
         super().__init__(n_sets, associativity)
         self._order = [list(range(associativity)) for _ in range(n_sets)]
@@ -113,6 +119,8 @@ class FIFOPolicy(ReplacementPolicy):
 
 class RandomPolicy(ReplacementPolicy):
     """Seeded random choice, as the paper's R-cache fallback rule uses."""
+
+    __slots__ = ("_rng",)
 
     def __init__(self, n_sets: int, associativity: int, seed: int = 0) -> None:
         super().__init__(n_sets, associativity)

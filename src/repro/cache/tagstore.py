@@ -30,6 +30,16 @@ class TagStore:
     True
     """
 
+    __slots__ = (
+        "config",
+        "policy",
+        "_sets",
+        "_block_bits",
+        "_set_bits",
+        "_set_mask",
+        "_multiway",
+    )
+
     def __init__(
         self,
         config: CacheConfig,

@@ -43,6 +43,8 @@ class WriteBuffer:
     False
     """
 
+    __slots__ = ("capacity", "stats", "_entries")
+
     def __init__(self, capacity: int = 1) -> None:
         if capacity < 1:
             raise ValueError(f"write buffer capacity must be >= 1, got {capacity}")

@@ -27,6 +27,8 @@ class MainMemory:
     stores the writer's stamp.
     """
 
+    __slots__ = ("_versions", "stats")
+
     def __init__(self) -> None:
         self._versions: dict[int, int] = {}
         self.stats = CounterBag()
@@ -73,6 +75,8 @@ class Bus:
     attach order defines their snoop order (irrelevant to results, but
     deterministic).
     """
+
+    __slots__ = ("memory", "stats", "_snoopers", "observer")
 
     def __init__(self, memory: MainMemory | None = None) -> None:
         self.memory = memory if memory is not None else MainMemory()

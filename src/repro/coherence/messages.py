@@ -26,7 +26,7 @@ class BusOp(enum.Enum):
         return self is not BusOp.WRITE_BACK
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BusTransaction:
     """One atomic bus transaction.
 
@@ -45,7 +45,7 @@ class BusTransaction:
     version: int | None = None
 
 
-@dataclass
+@dataclass(slots=True)
 class SnoopReply:
     """What one snooper reports back for a coherence transaction.
 
@@ -60,7 +60,7 @@ class SnoopReply:
     supplied_version: int | None = None
 
 
-@dataclass
+@dataclass(slots=True)
 class BusResult:
     """Outcome of a transaction, as seen by the issuing hierarchy.
 

@@ -32,7 +32,14 @@ class L1Cache:
             unified cache or the I half, 1 for the D half); the first
             component of every v-pointer naming a block here.
         name: label used in reports ("L1", "L1-I", "L1-D").
+        access: processor-side lookup (valid blocks only, LRU
+            updated).  This is the tag store's bound ``access``
+            method, installed per instance so the replay loop skips a
+            wrapper frame; it must stay an instance slot, not a
+            ``def`` in the class body.
     """
+
+    __slots__ = ("config", "index", "name", "store", "access")
 
     def __init__(
         self,
@@ -52,14 +59,6 @@ class L1Cache:
         self.access = self.store.access
 
     # -- lookup -----------------------------------------------------------
-
-    def access(self, key: int) -> CacheBlock | None:
-        """Processor-side lookup (valid blocks only, LRU updated).
-
-        Shadowed by the bound-method alias installed in ``__init__``;
-        kept so the lookup contract stays visible in the class body.
-        """
-        return self.store.access(key)
 
     def find_present(self, key: int) -> CacheBlock | None:
         """Find a block whose data is physically present (valid or

@@ -130,6 +130,8 @@ class RCache:
     owns geometry, lookup and victim preference.
     """
 
+    __slots__ = ("config", "n_subentries", "store", "sub_block_size", "_sub_bits")
+
     def __init__(
         self,
         config: CacheConfig,

@@ -24,7 +24,7 @@ _L1_KEYS: dict[tuple[RefKind, bool], str] = {
 }
 
 
-@dataclass
+@dataclass(slots=True)
 class HierarchyStats:
     """Counters for one processor's cache hierarchy.
 

@@ -69,6 +69,37 @@ class AccessResult:
 class TwoLevelHierarchy:
     """One processor's private two-level hierarchy on a shared bus."""
 
+    __slots__ = (
+        "config",
+        "kind",
+        "layout",
+        "bus",
+        "cpu",
+        "tlb",
+        "stats",
+        "write_buffer",
+        "drain_period",
+        "rcache",
+        "_inclusion",
+        "_virtual_l1",
+        "_pid_tags",
+        "_write_through",
+        "_update_protocol",
+        "_next_version",
+        "_l1s",
+        "_split",
+        "_sub_bits",
+        "_refs",
+        "_last_writeback_ref",
+        "_drain_countdown",
+        "_wb_entries",
+        "_counts",
+        "_tr_syn",
+        "_tr_incl",
+        "_tr_wb",
+        "_tr_coh",
+    )
+
     def __init__(
         self,
         config: HierarchyConfig,
@@ -683,6 +714,20 @@ class TwoLevelHierarchy:
             if not sub.valid:
                 continue
             pblock = self.rcache.pblock_of(rblock, index)
+            # The inclusion and buffer bits are not exclusive: a
+            # write-through level 1 holds a clean child (inclusion)
+            # while its written-through data is still queued (buffer).
+            # The pending entry is the newest copy, so it is flushed
+            # first and supersedes any rdirty claim.
+            if sub.buffer:
+                entry = self.write_buffer.remove(pblock)
+                if entry is None:
+                    raise ProtocolError(
+                        "buffer bit set but no write-buffer entry",
+                        access_index=self._refs,
+                        pblock=pblock,
+                    )
+                self.bus.write_back(pblock, entry.version)
             if sub.inclusion:
                 child = self._child_of(sub, pblock)
                 self.stats.counters.add("l1_inclusion_invalidations")
@@ -696,19 +741,10 @@ class TwoLevelHierarchy:
                     )
                 if child.dirty:
                     self.bus.write_back(pblock, child.version)
-                elif sub.rdirty:
+                elif sub.rdirty and not sub.buffer:
                     self.bus.write_back(pblock, sub.version)
                 child.invalidate()
-            elif sub.buffer:
-                entry = self.write_buffer.remove(pblock)
-                if entry is None:
-                    raise ProtocolError(
-                        "buffer bit set but no write-buffer entry",
-                        access_index=self._refs,
-                        pblock=pblock,
-                    )
-                self.bus.write_back(pblock, entry.version)
-            elif sub.rdirty:
+            elif sub.rdirty and not sub.buffer:
                 self.bus.write_back(pblock, sub.version)
             sub.reset()
         rblock.invalidate()

@@ -34,6 +34,18 @@ class TLB:
     (1, 0)
     """
 
+    __slots__ = (
+        "layout",
+        "n_entries",
+        "associativity",
+        "n_sets",
+        "stats",
+        "_sets",
+        "_page_shift",
+        "_page_mask",
+        "_counts",
+    )
+
     def __init__(
         self,
         layout: MemoryLayout,

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import logging
 import sys
+from typing import TextIO
 
 #: Accepted ``--log-level`` spellings.
 LEVELS = ("debug", "info", "warning", "error")
@@ -33,7 +34,7 @@ def get_logger(name: str) -> logging.Logger:
     return logging.getLogger(f"repro.{name}")
 
 
-def configure(level: str = "info", stream=None) -> logging.Logger:
+def configure(level: str = "info", stream: TextIO | None = None) -> logging.Logger:
     """Install one stderr handler on the ``repro`` root logger.
 
     Idempotent: repeated calls replace the previous handler rather

@@ -21,6 +21,7 @@ concurrent workers and interrupted runs never leave a torn entry.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import os
 import pickle
@@ -80,7 +81,7 @@ def default_cache_dir() -> str:
     return str(Path.home() / ".cache" / "repro")
 
 
-def key_digest(parts: tuple) -> str:
+def key_digest(parts: tuple[Any, ...]) -> str:
     """Stable digest of a simulation key tuple.
 
     Every element is rendered with ``repr`` — the keys are built from
@@ -99,10 +100,10 @@ class ResultCache:
         self.schema_dir = self.root / schema_hash()
         self._pruned = False
 
-    def _path(self, parts: tuple) -> Path:
+    def _path(self, parts: tuple[Any, ...]) -> Path:
         return self.schema_dir / f"{key_digest(parts)}.pkl"
 
-    def load(self, parts: tuple) -> Any | None:
+    def load(self, parts: tuple[Any, ...]) -> Any | None:
         """The cached result for *parts*, or None.
 
         A torn or unreadable entry is treated as a miss and removed.
@@ -120,13 +121,11 @@ class ResultCache:
             AttributeError,
             ValueError,
         ):
-            try:
+            with contextlib.suppress(OSError):
                 path.unlink()
-            except OSError:
-                pass
             return None
 
-    def store(self, parts: tuple, result: Any) -> None:
+    def store(self, parts: tuple[Any, ...], result: Any) -> None:
         """Persist *result* under *parts*, atomically."""
         self._prune_stale_schemas()
         path = self._path(parts)

@@ -15,6 +15,7 @@ sum of the parts.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from ..experiments import ablation
 from ..experiments.base import SIZE_PAIRS, SMALL_SIZE_PAIRS, simulation_key
@@ -35,9 +36,9 @@ class SimJob:
     split_l1: bool = False
     block_size: int = 16
     seed: int = 0
-    config_overrides: tuple = ()
+    config_overrides: tuple[tuple[str, object], ...] = ()
 
-    def key(self) -> tuple:
+    def key(self) -> tuple[Any, ...]:
         """The memo/disk identity (see :func:`simulation_key`)."""
         return simulation_key(
             self.trace,

@@ -43,7 +43,7 @@ class VersionCounter:
         return value
 
 
-@dataclass
+@dataclass(slots=True)
 class SimulationResult:
     """Everything a simulation run produced.
 
@@ -107,6 +107,8 @@ class Multiprocessor:
     >>> result.refs_processed
     2000
     """
+
+    __slots__ = ("layout", "config", "bus", "version_counter", "hierarchies")
 
     def __init__(
         self,

@@ -295,7 +295,7 @@ class _ProcessEngine:
     def _do_call(self) -> None:
         burst = self.rng.choices(self._burst_sizes, weights=self._burst_weights)[0]
         self.pending.append((RefKind.CALL, 0))
-        for i in range(burst):
+        for _ in range(burst):
             self.sp -= 4
             if self.sp < self.segs.stack.base_vaddr + 64:
                 self.sp = self.segs.stack.end_vaddr - 64
@@ -480,7 +480,7 @@ class SyntheticWorkload:
         layout = self.layout
         pids_by_cpu: list[list[int]] = []
         next_pid = 1
-        for cpu in range(spec.n_cpus):
+        for _cpu in range(spec.n_cpus):
             pids = []
             for _ in range(spec.processes_per_cpu):
                 pids.append(next_pid)

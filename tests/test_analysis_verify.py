@@ -1,0 +1,192 @@
+"""Tests for the protocol model checker (``repro-verify``).
+
+The reachable-state counts are pinned: exploration is deterministic,
+so any change to the protocol implementation that grows or shrinks
+the reachable quotient shows up here as a diff to review, not as a
+silent drift.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import verify
+from repro.analysis.explore import ExplorationLimitError, explore, replay
+from repro.analysis.model import SCENARIOS, ProtocolModel, scenario_named
+
+#: Scenario name -> reachable abstract states (2 CPUs, one tracked
+#: physical block).  Regenerate with ``repro-verify --exhaustive``.
+EXPECTED_STATES = {
+    "vr-invalidate-wb": 60,
+    "vr-update-wb": 78,
+    "rr-incl-invalidate-wb": 25,
+    "rr-incl-update-wb": 33,
+    "rr-noincl-invalidate-wb": 27,
+    "rr-noincl-update-wb": 41,
+    "vr-invalidate-wt": 56,
+    "vr-update-wt": 72,
+}
+
+
+@pytest.fixture(scope="module")
+def reports():
+    """Every scenario explored once (snoop tables skipped for speed)."""
+    return {
+        scenario.name: explore(scenario, with_snoop_table=False)
+        for scenario in SCENARIOS
+    }
+
+
+class TestStateSpace:
+    def test_scenario_matrix_is_complete(self):
+        assert {s.name for s in SCENARIOS} == set(EXPECTED_STATES)
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_STATES))
+    def test_reachable_state_count_pinned(self, reports, name):
+        assert reports[name].n_states == EXPECTED_STATES[name]
+
+    def test_every_scenario_verifies_clean(self, reports):
+        for name, report in reports.items():
+            assert report.ok, (name, report.counterexamples[:1])
+
+    def test_no_dead_states(self, reports):
+        """Every reachable state has a way out — no configuration the
+        protocol can enter but never leave."""
+        for name, report in reports.items():
+            assert report.dead_states() == [], name
+
+    def test_every_state_event_pair_expanded(self, reports):
+        for report in reports.values():
+            assert report.n_transitions == report.n_states * len(report.events)
+
+    def test_exploration_is_deterministic(self):
+        scenario = scenario_named("rr-incl-invalidate-wb")
+        first = explore(scenario, with_snoop_table=False)
+        second = explore(scenario, with_snoop_table=False)
+        assert first.states == second.states
+        assert [t.to_dict() for t in first.transitions] == [
+            t.to_dict() for t in second.transitions
+        ]
+
+    def test_state_limit_enforced(self):
+        with pytest.raises(ExplorationLimitError):
+            explore(
+                scenario_named("vr-invalidate-wb"),
+                max_states=5,
+                with_snoop_table=False,
+            )
+
+
+class TestInvariantDetection:
+    def test_injected_violation_yields_minimal_counterexample(
+        self, monkeypatch
+    ):
+        """Teeth check: plant an artificial 'invariant' that any dirty
+        copy on CPU 0 violates, and the explorer must return the
+        one-event counterexample (a single write)."""
+        original = ProtocolModel.check_invariants
+
+        def with_fault(self):
+            messages = original(self)
+            if self._tracked_evidence(0)["exclusive_dirty"]:
+                messages = messages + [
+                    "fault: cpu0 holds the tracked block dirty"
+                ]
+            return messages
+
+        monkeypatch.setattr(ProtocolModel, "check_invariants", with_fault)
+        report = explore(
+            scenario_named("vr-invalidate-wb"), with_snoop_table=False
+        )
+        assert not report.ok
+        shortest = min(report.counterexamples, key=lambda c: len(c.events))
+        assert shortest.events == ["w0"]
+        assert any("tracked block dirty" in m for m in shortest.messages)
+        # The trace reproduces outside the explorer too.
+        assert replay(scenario_named("vr-invalidate-wb"), shortest.events)
+
+    def test_replay_of_clean_trace_is_empty(self):
+        scenario = scenario_named("vr-invalidate-wb")
+        assert replay(scenario, ["r0", "w0", "r1", "d0", "d1"]) == []
+
+    def test_wt_eviction_with_pending_buffer_entry_regression(self):
+        """Regression for the ``_evict_l2`` gap this checker surfaced:
+        a write-through subentry carries inclusion AND buffer bits, and
+        evicting its level-2 block used to orphan the write-buffer
+        entry (r0 fills, w0 writes through, y0 evicts the L2 block)."""
+        for name in ("vr-invalidate-wt", "vr-update-wt"):
+            assert replay(scenario_named(name), ["r0", "w0", "y0"]) == []
+
+
+class TestSnoopTable:
+    @pytest.fixture(scope="class")
+    def vr_report(self):
+        return explore(scenario_named("vr-invalidate-wb"))
+
+    def test_full_cross_product(self, vr_report):
+        # 32 subentry bit combinations x 4 snoopable bus operations.
+        assert len(vr_report.snoop_rows) == 128
+
+    def test_every_defensive_raise_is_classified(self, vr_report):
+        raising = [r for r in vr_report.snoop_rows if r["outcome"] == "raise"]
+        classified = vr_report.missing_transitions()
+        assert len(classified) == len(raising)
+        assert all(
+            row["verdict"] in {"gap", "delivery-unreachable", "state-unreachable"}
+            for row in classified
+        )
+
+    def test_no_protocol_gaps(self, vr_report):
+        """Every raising (subentry state x bus event) pair is proven
+        unreachable; none is hit by a reachable event sequence."""
+        assert [
+            row for row in vr_report.missing_transitions()
+            if row["verdict"] == "gap"
+        ] == []
+
+    def test_unreachable_sub_combo_count_pinned(self, vr_report):
+        assert len(vr_report.unreachable_sub_combos()) == 22
+
+    def test_json_artifact_round_trips(self, vr_report):
+        artifact = vr_report.to_dict()
+        encoded = json.dumps(artifact)
+        decoded = json.loads(encoded)
+        assert decoded["n_states"] == EXPECTED_STATES["vr-invalidate-wb"]
+        assert decoded["ok"] is True
+        assert len(decoded["states"]) == decoded["n_states"]
+
+
+class TestCli:
+    def test_list_scenarios(self, capsys):
+        assert verify.main(["--list-scenarios"]) == 0
+        out = capsys.readouterr().out
+        for scenario in SCENARIOS:
+            assert scenario.name in out
+
+    def test_single_scenario_exits_zero(self, capsys):
+        rc = verify.main(
+            ["--scenario", "rr-incl-invalidate-wb", "--no-snoop-table", "--quiet"]
+        )
+        assert rc == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_unknown_scenario_is_usage_error(self, capsys):
+        assert verify.main(["--scenario", "no-such-scenario"]) == 2
+
+    def test_json_artifact_written(self, tmp_path, capsys):
+        path = tmp_path / "space.json"
+        rc = verify.main(
+            [
+                "--scenario",
+                "rr-incl-invalidate-wb",
+                "--json-out",
+                str(path),
+                "--quiet",
+            ]
+        )
+        assert rc == 0
+        data = json.loads(path.read_text())
+        assert data["ok"] is True
+        assert len(data["scenarios"]) == 1
+        report = data["scenarios"][0]
+        assert report["n_states"] == EXPECTED_STATES["rr-incl-invalidate-wb"]

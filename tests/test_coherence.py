@@ -283,7 +283,7 @@ class TestProtocolInvariants:
             for _ in range(4)
         ]
         latest = 0
-        for round_number in range(8):
+        for _round in range(8):
             for pid, hier in enumerate(hierarchies, start=1):
                 vaddr = 0x100000 + pid * 0x10000
                 latest = hier.access(pid, vaddr, W).version
