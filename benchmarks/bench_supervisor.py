@@ -1,0 +1,44 @@
+"""Benchmark smoke: supervised-pool recovery cost under worker kills.
+
+One-shot, like the table benchmarks: runs the Table 6 grid through
+the fault-tolerant supervisor with seeded chaos kills and reports the
+wall time — the recovery overhead (pool rebuild + retries) is the
+quantity of interest.  Correctness rides along: the healed run's data
+must be bit-identical to a clean serial run.
+
+Kept at a small fixed scale (independent of ``$REPRO_SCALE``) so the
+chaos drill stays cheap.
+"""
+
+import json
+
+from repro.experiments import RUNNERS, base
+from repro.faults import ChaosConfig
+from repro.runner import SupervisorConfig, plan_jobs, run_jobs
+
+SCALE = 0.02
+
+
+def _table6_data() -> str:
+    result = RUNNERS["table6"](scale=SCALE)
+    return json.dumps(result.data, default=str, sort_keys=True)
+
+
+def test_supervised_recovery_matches_serial(benchmark):
+    base.clear_caches()
+    base.set_run_options(base.RunOptions())
+    serial = _table6_data()
+    base.clear_caches()
+
+    jobs = plan_jobs(["table6"], SCALE)
+    config = SupervisorConfig(
+        chaos=ChaosConfig(kill_rate=0.3, seed=7, first_attempts=1)
+    )
+    report = benchmark.pedantic(
+        lambda: run_jobs(jobs, 2, supervisor=config), rounds=1, iterations=1
+    )
+    assert report.executed == len(jobs)
+    assert report.healthy
+    assert report.retried > 0  # the drill really injected failures
+    assert _table6_data() == serial
+    base.clear_caches()

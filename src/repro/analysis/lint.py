@@ -123,6 +123,7 @@ def known_metric_names() -> frozenset[str]:
     from ..obs.metrics import (
         COHERENCE_TO_L1_METRICS,
         HIERARCHY_METRIC_NAMES,
+        RUNNER_METRIC_NAMES,
         TLB_METRIC_NAMES,
     )
 
@@ -130,6 +131,7 @@ def known_metric_names() -> frozenset[str]:
         frozenset(HIERARCHY_METRIC_NAMES.values())
         | frozenset(TLB_METRIC_NAMES.values())
         | frozenset(COHERENCE_TO_L1_METRICS)
+        | frozenset(RUNNER_METRIC_NAMES)
         | frozenset({"sim.refs", "wb.interval"})
     )
 

@@ -1,0 +1,149 @@
+"""Deterministic chaos injection for the *orchestrator* (not the simulator).
+
+PR 1's fault injector proves the simulated hardware survives corrupted
+metadata; this module proves the **experiment supervisor** survives a
+misbehaving worker.  A :class:`ChaosConfig` travels with each job to
+the worker process, where :meth:`ChaosConfig.apply` may — under seeded
+control — kill the process outright (``SIGKILL``, which the parent
+sees as a ``BrokenProcessPool``), hang past the supervisor's job
+timeout, or raise a :class:`ChaosError` mid-job.
+
+Determinism is the whole point: the decision for a given job attempt
+is a pure function of ``(seed, job digest, attempt)``, so every
+supervisor behaviour — retry, pool rebuild, timeout kill, quarantine —
+is *provable* in tests instead of hoped-for.  Because a chaotic
+attempt either dies before simulating or raises without writing any
+result, surviving results are bit-identical to a chaos-free run.
+
+Two knobs shape the failure model:
+
+* ``first_attempts`` — chaos only strikes attempts ``<= first_attempts``
+  (default 1), so with retries enabled every job eventually heals.
+  Raise it past the supervisor's attempt budget to model persistent
+  failures.
+* ``poison_one_in`` — every job whose digest hashes to
+  ``0 (mod poison_one_in)`` raises on *every* attempt, modelling a
+  genuinely poisonous job that must end in quarantine.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import time
+from dataclasses import dataclass
+
+from ..common.errors import ChaosError, ConfigurationError
+
+#: The misbehaviours :meth:`ChaosConfig.decide` can pick.
+ACTIONS = ("kill", "hang", "raise")
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """What a chaotic worker may do, how often, and with which seed.
+
+    Attributes:
+        kill_rate: probability the worker SIGKILLs itself before the job.
+        hang_rate: probability the worker sleeps ``hang_s`` seconds
+            before the job (tripping any supervisor timeout).
+        raise_rate: probability the worker raises :class:`ChaosError`.
+        hang_s: how long a hang lasts (make it exceed the job timeout).
+        seed: seed of the per-attempt decision draw.
+        first_attempts: attempts beyond this index run clean, so
+            retried jobs heal (default 1: only first attempts misbehave).
+        poison_one_in: when > 0, jobs whose digest hashes to
+            ``0 (mod poison_one_in)`` raise on every attempt.
+    """
+
+    kill_rate: float = 0.0
+    hang_rate: float = 0.0
+    raise_rate: float = 0.0
+    hang_s: float = 30.0
+    seed: int = 0
+    first_attempts: int = 1
+    poison_one_in: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("kill_rate", "hang_rate", "raise_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError(
+                    f"{name} must be a probability in [0, 1]: {rate}"
+                )
+        if self.kill_rate + self.hang_rate + self.raise_rate > 1.0:
+            raise ConfigurationError(
+                "chaos rates must sum to at most 1.0: "
+                f"{self.kill_rate} + {self.hang_rate} + {self.raise_rate}"
+            )
+        if self.hang_s < 0:
+            raise ConfigurationError(f"hang_s must be >= 0: {self.hang_s}")
+        if self.first_attempts < 0:
+            raise ConfigurationError(
+                f"first_attempts must be >= 0: {self.first_attempts}"
+            )
+        if self.poison_one_in < 0:
+            raise ConfigurationError(
+                f"poison_one_in must be >= 0: {self.poison_one_in}"
+            )
+
+    @property
+    def active(self) -> bool:
+        """True when any misbehaviour can ever fire."""
+        return (
+            self.kill_rate > 0.0
+            or self.hang_rate > 0.0
+            or self.raise_rate > 0.0
+            or self.poison_one_in > 0
+        )
+
+    def is_poisoned(self, digest: str) -> bool:
+        """True when *digest* names a job that fails on every attempt."""
+        return (
+            self.poison_one_in > 0
+            and int(digest[:8], 16) % self.poison_one_in == 0
+        )
+
+    def decide(self, digest: str, attempt: int) -> str | None:
+        """The misbehaviour for this ``(job, attempt)``, or None.
+
+        A pure function of ``(seed, digest, attempt)``: the same triple
+        always yields the same action, and distinct attempts draw
+        independently, so a job killed on attempt 1 can succeed on
+        attempt 2.
+        """
+        if self.is_poisoned(digest):
+            return "raise"
+        if attempt > self.first_attempts:
+            return None
+        draw = random.Random(f"{self.seed}:{digest}:{attempt}").random()
+        if draw < self.kill_rate:
+            return "kill"
+        if draw < self.kill_rate + self.hang_rate:
+            return "hang"
+        if draw < self.kill_rate + self.hang_rate + self.raise_rate:
+            return "raise"
+        return None
+
+    def apply(self, digest: str, attempt: int) -> None:
+        """Carry out :meth:`decide`'s verdict in the worker process.
+
+        ``kill`` never returns (SIGKILL); ``hang`` sleeps then falls
+        through to normal execution (the supervisor's watchdog is
+        expected to have killed the pool first); ``raise`` raises
+        :class:`ChaosError`; None returns immediately.
+        """
+        action = self.decide(digest, attempt)
+        if action is None:
+            return
+        if action == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif action == "hang":
+            time.sleep(self.hang_s)
+        else:
+            raise ChaosError(
+                "chaos-injected worker failure",
+                job=digest,
+                attempt=attempt,
+            )

@@ -20,6 +20,7 @@ from .manifest import RunManifest, git_revision
 from .metrics import (
     COHERENCE_TO_L1_METRICS,
     HIERARCHY_METRIC_NAMES,
+    RUNNER_METRIC_NAMES,
     TLB_METRIC_NAMES,
     CounterMetric,
     HistogramMetric,
@@ -62,6 +63,7 @@ __all__ = [
     "COHERENCE_TO_L1_METRICS",
     "HIERARCHY_METRIC_NAMES",
     "LEVELS",
+    "RUNNER_METRIC_NAMES",
     "TLB_METRIC_NAMES",
     "CounterMetric",
     "EventTracer",

@@ -341,6 +341,18 @@ TLB_METRIC_NAMES: dict[str, str] = {
     "scrubbed_entries": "tlb.scrubbed_entry",
 }
 
+#: Resilience events the experiment supervisor counts
+#: (``repro.runner.supervisor``).  These are *orchestrator* metrics —
+#: they never appear in a :class:`SimulationResult` and are only
+#: non-zero when a run actually hit failures, so chaos-free snapshots
+#: stay byte-identical across ``--jobs`` settings.
+RUNNER_METRIC_NAMES: tuple[str, ...] = (
+    "runner.retry",
+    "runner.timeout",
+    "runner.quarantine",
+    "runner.pool_rebuild",
+)
+
 #: The coherence messages Tables 11-13 count as "percolated to level 1"
 #: (note ``l1.coherence.update`` is excluded: the paper counts update
 #: broadcasts separately from invalidation/flush traffic).

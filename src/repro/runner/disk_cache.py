@@ -136,7 +136,9 @@ class ResultCache:
                 pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp, path)
         finally:
-            if tmp.exists():
+            # Unconditional unlink: an exists()-then-unlink() pair races
+            # with a concurrent cleaner between the two calls.
+            with contextlib.suppress(FileNotFoundError):
                 tmp.unlink()
 
     def clear(self) -> int:

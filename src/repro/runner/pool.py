@@ -13,6 +13,13 @@ experiment runners then find every simulation precomputed.
 Simulations are deterministic and jobs are deduplicated upstream, so
 results are bit-identical to a serial run and no two workers ever
 race on the same cache entry.
+
+Pass a :class:`~repro.runner.supervisor.SupervisorConfig` to run
+under the fault-tolerant supervisor instead of the bare pool: per-job
+timeouts, seeded retries, broken-pool recovery, quarantine and a
+resumable run journal (see :mod:`repro.runner.supervisor`).  Chaotic
+attempts either die before simulating or raise without producing a
+result, so the surviving results stay bit-identical either way.
 """
 
 from __future__ import annotations
@@ -23,9 +30,11 @@ from dataclasses import dataclass, field
 from time import perf_counter
 
 from ..experiments import base
+from ..faults.chaos import ChaosConfig
 from ..system.multiprocessor import SimulationResult
-from .disk_cache import get_cache
+from .disk_cache import get_cache, key_digest
 from .planner import SimJob
+from .supervisor import Supervisor, SupervisorConfig
 
 
 @dataclass
@@ -33,7 +42,15 @@ class RunReport:
     """How a :func:`run_jobs` call was satisfied.
 
     ``executed`` counts simulations actually replayed (in workers or,
-    for a single pending job, inline); the rest were cache hits.
+    for a single pending job, inline); the rest were cache hits.  The
+    resilience fields stay zero outside supervised runs: ``retried``
+    jobs succeeded after at least one failed attempt, ``timed_out`` /
+    ``quarantined`` jobs were given up on (``quarantine_files`` holds
+    their failure-record paths), ``skipped_quarantined`` jobs were
+    dropped by ``--resume`` because a previous run quarantined them.
+    ``outcomes`` maps each supervised job's digest to its terminal
+    outcome (``ok`` / ``retried`` / ``timed_out`` / ``quarantined`` /
+    ``skipped_quarantined``).
     """
 
     total_jobs: int = 0
@@ -42,24 +59,61 @@ class RunReport:
     executed: int = 0
     n_workers: int = 1
     elapsed_s: float = 0.0
+    retried: int = 0
+    timed_out: int = 0
+    quarantined: int = 0
+    pool_rebuilds: int = 0
+    skipped_quarantined: int = 0
+    quarantine_files: list[str] = field(default_factory=list)
+    outcomes: dict[str, str] = field(default_factory=dict)
     timings: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def healthy(self) -> bool:
+        """True when every job reached a result (none given up on)."""
+        return self.quarantined == 0 and self.skipped_quarantined == 0
 
     def describe(self) -> str:
         """One status line for the CLI."""
-        return (
+        line = (
             f"{self.total_jobs} simulations: {self.executed} run "
             f"({self.n_workers} workers), {self.disk_hits} from disk cache, "
-            f"{self.memo_hits} memoised [{self.elapsed_s:.1f}s]"
+            f"{self.memo_hits} memoised"
         )
+        extras = []
+        if self.retried:
+            extras.append(f"{self.retried} retried")
+        if self.timed_out:
+            extras.append(f"{self.timed_out} timeout(s)")
+        if self.quarantined:
+            extras.append(f"{self.quarantined} quarantined")
+        if self.pool_rebuilds:
+            extras.append(f"{self.pool_rebuilds} pool rebuild(s)")
+        if self.skipped_quarantined:
+            extras.append(
+                f"{self.skipped_quarantined} skipped (quarantined earlier)"
+            )
+        if extras:
+            line += "; " + ", ".join(extras)
+        return line + f" [{self.elapsed_s:.1f}s]"
 
 
-def _execute_job(job: SimJob, options: base.RunOptions) -> tuple[SimJob, SimulationResult, int]:
+def _execute_job(
+    job: SimJob,
+    options: base.RunOptions,
+    chaos: ChaosConfig | None = None,
+    attempt: int = 1,
+) -> tuple[SimJob, SimulationResult, int]:
     """Worker entry point: simulate *job* under *options*.
 
     Returns the job, its result, and how many simulations were
     actually replayed here (0 when another run's disk entry appeared
-    in the meantime).
+    in the meantime).  A *chaos* config may kill, hang or fail this
+    worker before any simulation state is touched — misbehaviour
+    never corrupts a result, it only prevents one.
     """
+    if chaos is not None and chaos.active:
+        chaos.apply(key_digest(job.key()), attempt)
     base.set_run_options(options)
     before = base.executed_simulations()
     result = base.simulate(
@@ -76,7 +130,11 @@ def _execute_job(job: SimJob, options: base.RunOptions) -> tuple[SimJob, Simulat
     return job, result, base.executed_simulations() - before
 
 
-def run_jobs(jobs: list[SimJob], n_workers: int | None = None) -> RunReport:
+def run_jobs(
+    jobs: list[SimJob],
+    n_workers: int | None = None,
+    supervisor: SupervisorConfig | None = None,
+) -> RunReport:
     """Pre-compute *jobs* under the installed run options.
 
     After this returns, every job's result sits in the simulation
@@ -84,6 +142,10 @@ def run_jobs(jobs: list[SimJob], n_workers: int | None = None) -> RunReport:
     experiment runners replay nothing.  With ``n_workers <= 1`` or at
     most one pending job, everything runs in-process — same results,
     no pool overhead.
+
+    A *supervisor* config routes all pending jobs through the
+    fault-tolerant :class:`~repro.runner.supervisor.Supervisor`
+    (even single pending jobs: timeouts and chaos still apply).
     """
     started = perf_counter()
     options = base.get_run_options()
@@ -112,6 +174,12 @@ def run_jobs(jobs: list[SimJob], n_workers: int | None = None) -> RunReport:
                 continue
         pending.append(job)
 
+    if supervisor is not None and pending:
+        workers = min(report.n_workers, len(pending))
+        Supervisor(pending, options, workers, supervisor, _execute_job).run(report)
+        report.elapsed_s = perf_counter() - started
+        return report
+
     if report.n_workers <= 1 or len(pending) <= 1:
         for job in pending:
             _, _, executed = _execute_job(job, options)
@@ -120,11 +188,22 @@ def run_jobs(jobs: list[SimJob], n_workers: int | None = None) -> RunReport:
         return report
 
     workers = min(report.n_workers, len(pending))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
+    pool = ProcessPoolExecutor(max_workers=workers)
+    try:
         futures = [pool.submit(_execute_job, job, options) for job in pending]
         for future in as_completed(futures):
             job, result, executed = future.result()
             base.seed_memo(job.key(), result)
             report.executed += executed
+    except KeyboardInterrupt:
+        # Kill workers outright — a ^C must not block on stragglers —
+        # then honour the CLI's exit-130 contract.
+        from .supervisor import _terminate_workers
+
+        _terminate_workers(pool)
+        pool.shutdown(wait=False, cancel_futures=True)
+        raise
+    else:
+        pool.shutdown(wait=True)
     report.elapsed_s = perf_counter() - started
     return report

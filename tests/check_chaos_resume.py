@@ -1,0 +1,160 @@
+"""Standalone chaos smoke: kill workers, interrupt the run, resume it.
+
+Used by CI as::
+
+    python -m tests.check_chaos_resume chaos-work
+
+It drives the real ``repro-experiment`` CLI as subprocesses and
+replays the acceptance criterion of the resilient runner:
+
+1. a grid run under seeded worker kills, force-interrupted (SIGINT)
+   once the journal shows progress, exits with code 130 and leaves a
+   well-formed journal behind (if the run wins the race and finishes
+   cleanly, that is accepted too);
+2. ``--resume`` completes the remainder and exits 0 with nothing
+   quarantined;
+3. a second ``--resume`` re-executes **zero** jobs — every job is a
+   disk-cache hit and the journal does not grow.
+
+Stdlib only; exits non-zero with a diagnostic on any failure.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+SCALE = "0.02"
+GRID = ["table6", "--scale", SCALE, "--jobs", "2"]
+CHAOS = ["--chaos-kill-rate", "0.4", "--chaos-seed", "7"]
+INTERRUPT_AFTER_LINES = 2
+WAIT_S = 300.0
+
+
+def _flags(work: Path) -> list[str]:
+    return [
+        "--cache-dir",
+        str(work / "cache"),
+        "--journal",
+        str(work / "journal.jsonl"),
+        "--quarantine-dir",
+        str(work / "quarantine"),
+    ]
+
+
+def _journal_lines(path: Path) -> list[dict]:
+    if not path.is_file():
+        return []
+    lines = []
+    for line in path.read_text(encoding="utf-8").splitlines():
+        try:
+            lines.append(json.loads(line))
+        except json.JSONDecodeError:
+            continue  # torn tail is legal mid-run
+    return lines
+
+
+def _run(argv: list[str]) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro.experiments.cli", *argv],
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+
+
+def _interrupted_run(work: Path) -> int:
+    """Start the chaotic grid and SIGINT it once the journal moves."""
+    journal = work / "journal.jsonl"
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.experiments.cli", *GRID, *CHAOS, *_flags(work)],
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+        text=True,
+        # Own process group: the SIGINT must hit only this tree.
+        preexec_fn=os.setsid,
+    )
+    deadline = time.monotonic() + WAIT_S
+    try:
+        while time.monotonic() < deadline:
+            if proc.poll() is not None:
+                break
+            if len(_journal_lines(journal)) >= INTERRUPT_AFTER_LINES:
+                os.killpg(proc.pid, signal.SIGINT)
+                break
+            time.sleep(0.2)
+        code = proc.wait(timeout=WAIT_S)
+    except subprocess.TimeoutExpired:
+        os.killpg(proc.pid, signal.SIGKILL)
+        print("FAIL: interrupted run did not exit in time", file=sys.stderr)
+        return -1
+    finally:
+        if proc.stderr is not None:
+            sys.stderr.write(proc.stderr.read())
+    return code
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if len(argv) != 1:
+        print("usage: python -m tests.check_chaos_resume WORKDIR", file=sys.stderr)
+        return 2
+    work = Path(argv[0])
+    work.mkdir(parents=True, exist_ok=True)
+    journal = work / "journal.jsonl"
+
+    code = _interrupted_run(work)
+    if code not in (130, 0, 3):
+        print(f"FAIL: chaotic run exited {code}, wanted 130 (or 0/3)", file=sys.stderr)
+        return 1
+    interrupted = code == 130
+    print(
+        f"chaotic run: exit {code} "
+        f"({'interrupted' if interrupted else 'finished before the SIGINT'}), "
+        f"{len(_journal_lines(journal))} journalled job(s)"
+    )
+
+    resume = _run([*GRID, *CHAOS, *_flags(work), "--resume"])
+    sys.stderr.write(resume.stderr)
+    if resume.returncode != 0:
+        print(f"FAIL: --resume exited {resume.returncode}", file=sys.stderr)
+        return 1
+    entries = _journal_lines(journal)
+    quarantined = [e for e in entries if e.get("outcome") in ("quarantined", "timed_out")]
+    if quarantined:
+        print(f"FAIL: resume left quarantined jobs: {quarantined}", file=sys.stderr)
+        return 1
+    print(f"resume run: exit 0, journal at {len(entries)} job(s)")
+
+    before = len(entries)
+    again = _run([*GRID, *CHAOS, *_flags(work), "--resume"])
+    sys.stderr.write(again.stderr)
+    if again.returncode != 0:
+        print(f"FAIL: second --resume exited {again.returncode}", file=sys.stderr)
+        return 1
+    after = len(_journal_lines(journal))
+    if after != before:
+        print(
+            f"FAIL: second --resume re-executed work "
+            f"(journal grew {before} -> {after})",
+            file=sys.stderr,
+        )
+        return 1
+    if "0 run" not in again.stderr.split("runner:")[-1]:
+        print(
+            "FAIL: second --resume reported executed jobs:\n" + again.stderr,
+            file=sys.stderr,
+        )
+        return 1
+    print("second resume: zero re-executed jobs — all cache hits")
+    print("check_chaos_resume: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
