@@ -81,17 +81,56 @@ def main(argv: list[str] | None = None) -> int:
                 "comparison would be meaningless"
             )
 
-    rate = float(measured["replay_refs_per_s"])
-    floor = float(baseline["replay_refs_per_s"]) / float(baseline["floor_divisor"])
-    threshold = floor * (1.0 - args.tolerance)
-    verdict = "ok" if rate >= threshold else "REGRESSION"
-    print(
-        f"replay throughput: {rate:,.0f} refs/s; floor "
-        f"{floor:,.0f} (baseline {float(baseline['replay_refs_per_s']):,.0f} "
-        f"/ {baseline['floor_divisor']}), tolerance {args.tolerance:.0%} "
-        f"-> threshold {threshold:,.0f} refs/s: {verdict}"
-    )
-    if rate < threshold:
+    # Per-engine gates when both files carry the engines section;
+    # pre-engine files degrade to the single legacy gate below.
+    gates: list[tuple[str, float, float, float]] = []
+    meas_engines = measured.get("engines")
+    base_engines = baseline.get("engines")
+    if meas_engines and base_engines:
+        for engine in sorted(base_engines):
+            if engine not in meas_engines:
+                sys.exit(f"check_throughput: measured file lacks engine {engine!r}")
+            rate = float(meas_engines[engine]["replay_refs_per_s"])
+            floor = float(base_engines[engine]["replay_refs_per_s"]) / float(
+                base_engines[engine]["floor_divisor"]
+            )
+            gates.append((engine, rate, floor, floor * (1.0 - args.tolerance)))
+    else:
+        rate = float(measured["replay_refs_per_s"])
+        floor = float(baseline["replay_refs_per_s"]) / float(
+            baseline["floor_divisor"]
+        )
+        gates.append(("replay", rate, floor, floor * (1.0 - args.tolerance)))
+
+    failed = False
+    for engine, rate, floor, threshold in gates:
+        verdict = "ok" if rate >= threshold else "REGRESSION"
+        print(
+            f"{engine} throughput: {rate:,.0f} refs/s; floor "
+            f"{floor:,.0f}, tolerance {args.tolerance:.0%} "
+            f"-> threshold {threshold:,.0f} refs/s: {verdict}"
+        )
+        if rate < threshold:
+            failed = True
+
+    if meas_engines and "object" in meas_engines and "soa" in meas_engines:
+        obj_rate = float(meas_engines["object"]["replay_refs_per_s"])
+        soa_rate = float(meas_engines["soa"]["replay_refs_per_s"])
+        verdict = "ok" if soa_rate >= obj_rate else "REGRESSION"
+        print(
+            f"soa vs object: {soa_rate:,.0f} vs {obj_rate:,.0f} refs/s "
+            f"(speedup {soa_rate / obj_rate:.2f}x): {verdict}"
+        )
+        if soa_rate < obj_rate:
+            print(
+                "check_throughput: the soa engine measured slower than the "
+                "object engine; its whole point is to be faster — "
+                "investigate recent changes to repro/core/soa.py",
+                file=sys.stderr,
+            )
+            failed = True
+
+    if failed:
         print(
             "check_throughput: measured replay throughput regressed below "
             "the tolerated floor; investigate recent hot-path changes or, "

@@ -23,10 +23,18 @@ rules encode them directly:
 * **RPL004** — no dict display, dict/set comprehension or f-string
   inside the designated hot replay functions; these allocate per
   reference and belong outside the loop.
+* **RPL005** — the SoA chunk loop (``repro.core.soa._walk_chunk``)
+  must stay object-free per reference: **no attribute lookups at
+  all** (every array, counter and bound method is hoisted into a
+  local before the loop — an attribute read inside would re-introduce
+  the per-reference ``CacheBlock``-style indirection the SoA core
+  exists to remove) and no dict/list/set construction, comprehension
+  or f-string.
 
 Rules are scoped: RPL001/RPL002 skip ``tests/`` (tests construct
 synthetic registries and tracers on purpose) and the defining modules
-themselves; RPL003/RPL004 apply only to the hot-module allowlist.
+themselves; RPL003/RPL004 apply only to the hot-module allowlist;
+RPL005 only to the chunk-loop function map.
 """
 
 from __future__ import annotations
@@ -48,6 +56,8 @@ RULES: dict[str, str] = {
     "RPL003": "classes in hot modules must declare __slots__",
     "RPL004": "no dict/set/f-string allocation inside hot replay "
     "functions",
+    "RPL005": "no attribute lookups or container construction inside "
+    "the SoA chunk loop",
     "RPL000": "file must parse",
 }
 
@@ -70,6 +80,7 @@ HOT_MODULES = frozenset(
         "repro/coherence/bus.py",
         "repro/coherence/messages.py",
         "repro/common/stats.py",
+        "repro/core/soa.py",
         "repro/hierarchy/l1.py",
         "repro/hierarchy/rcache.py",
         "repro/hierarchy/stats.py",
@@ -85,6 +96,14 @@ HOT_FUNCTIONS: dict[str, frozenset[str]] = {
     "repro/hierarchy/twolevel.py": frozenset({"access"}),
     "repro/mmu/tlb.py": frozenset({"translate"}),
     "repro/system/multiprocessor.py": frozenset({"_run_fast"}),
+}
+
+#: SoA chunk-loop functions held to the stricter RPL005 standard:
+#: everything is pre-bound to locals, so *any* attribute lookup (let
+#: alone a ``CacheBlock`` one) or container construction inside is a
+#: per-reference allocation regression.
+CHUNK_LOOP_FUNCTIONS: dict[str, frozenset[str]] = {
+    "repro/core/soa.py": frozenset({"_walk_chunk"}),
 }
 
 #: Base classes that exempt a class from RPL003: their machinery is
@@ -389,6 +408,64 @@ def _check_hot_allocations(tree: ast.AST, path: str) -> Iterator[Finding]:
             )
 
 
+# ---------------------------------------------------------------- RPL005
+
+_CHUNK_ALLOC_NODES = (
+    ast.Dict,
+    ast.DictComp,
+    ast.Set,
+    ast.SetComp,
+    ast.List,
+    ast.ListComp,
+    ast.GeneratorExp,
+    ast.JoinedStr,
+)
+_CHUNK_ALLOC_LABEL = {
+    "Dict": "dict display",
+    "DictComp": "dict comprehension",
+    "Set": "set display",
+    "SetComp": "set comprehension",
+    "List": "list display",
+    "ListComp": "list comprehension",
+    "GeneratorExp": "generator expression",
+    "JoinedStr": "f-string",
+}
+
+
+def _check_chunk_loop(tree: ast.AST, path: str) -> Iterator[Finding]:
+    chunk = CHUNK_LOOP_FUNCTIONS.get(_module_key(path))
+    if not chunk:
+        return
+    for node in ast.walk(tree):
+        if not (
+            isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and node.name in chunk
+        ):
+            continue
+        for inner in ast.walk(node):
+            if isinstance(inner, ast.Attribute):
+                yield Finding(
+                    "RPL005",
+                    path,
+                    inner.lineno,
+                    inner.col_offset,
+                    f'attribute lookup ".{inner.attr}" inside the SoA '
+                    f'chunk loop "{node.name}" — bind it to a local '
+                    "before the loop (per-reference attribute access "
+                    "re-introduces the object-model indirection)",
+                )
+            elif isinstance(inner, _CHUNK_ALLOC_NODES):
+                label = _CHUNK_ALLOC_LABEL[type(inner).__name__]
+                yield Finding(
+                    "RPL005",
+                    path,
+                    inner.lineno,
+                    inner.col_offset,
+                    f'{label} inside the SoA chunk loop "{node.name}" '
+                    "— allocates per reference; hoist it out",
+                )
+
+
 # ------------------------------------------------------------------ API
 
 
@@ -416,6 +493,7 @@ def lint_source(source: str, path: str) -> list[Finding]:
         *_check_tracer_sites(tree, path, tracer_categories()),
         *_check_hot_slots(tree, path),
         *_check_hot_allocations(tree, path),
+        *_check_chunk_loop(tree, path),
     ]
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings
@@ -442,7 +520,7 @@ def lint_paths(paths: Iterable[str | Path]) -> list[Finding]:
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
-        description="Repo-specific AST lint rules (RPL001-RPL004).",
+        description="Repo-specific AST lint rules (RPL001-RPL005).",
     )
     parser.add_argument(
         "paths",

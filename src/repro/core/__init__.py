@@ -1,0 +1,25 @@
+"""Struct-of-arrays replay core (the ``--engine soa`` backend).
+
+``repro.core.soa`` re-implements the replay hot path over flat numpy
+arrays while keeping the object model's protocol code — and therefore
+its exact semantics — for everything that is not a pure level-1 hit.
+See DESIGN.md §13 for the layout and the chunk-boundary rules.
+"""
+
+from .soa import (
+    SoAHierarchy,
+    SoAL1Cache,
+    SoARCache,
+    SoATLB,
+    SoAWriteBuffer,
+    run_soa,
+)
+
+__all__ = [
+    "SoAHierarchy",
+    "SoAL1Cache",
+    "SoARCache",
+    "SoATLB",
+    "SoAWriteBuffer",
+    "run_soa",
+]

@@ -103,6 +103,8 @@ class RunOptions:
         checkpoint_every: trace records replayed between checkpoints.
         cache_dir: root of the persistent result cache; None disables
             disk caching (the in-process memo still applies).
+        engine: replay core — "object" (the reference hierarchy) or
+            "soa" (the struct-of-arrays core, DESIGN §13).
     """
 
     check_every: int | None = None
@@ -112,6 +114,7 @@ class RunOptions:
     checkpoint_dir: str | None = None
     checkpoint_every: int = 50_000
     cache_dir: str | None = None
+    engine: str = "object"
 
     def result_key_parts(self) -> tuple:
         """The option fields that can affect simulation *results*.
@@ -128,6 +131,11 @@ class RunOptions:
             self.fault_seed,
             self.checkpoint_dir is not None,
             self.checkpoint_every,
+            # The engines are bit-identical by construction, but keyed
+            # apart so a cached object-engine result can never mask an
+            # SoA regression (the differential harness depends on both
+            # actually running).
+            self.engine,
         )
 
 
@@ -351,7 +359,9 @@ def simulate(
     if options.check_every is not None:
         guard = InvariantGuard(options.guard_policy, options.check_every)
 
-    machine = Multiprocessor(layout, spec.n_cpus, config, seed=seed, bus=bus)
+    machine = Multiprocessor(
+        layout, spec.n_cpus, config, seed=seed, bus=bus, engine=options.engine
+    )
     if options.checkpoint_dir is not None:
         os.makedirs(options.checkpoint_dir, exist_ok=True)
         stem = "-".join(

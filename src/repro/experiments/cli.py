@@ -118,6 +118,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="profile the run and print the hottest functions",
     )
+    runner.add_argument(
+        "--engine",
+        choices=["object", "soa"],
+        default="object",
+        help=(
+            "replay core: the reference object hierarchy or the "
+            "struct-of-arrays core (default: object)"
+        ),
+    )
     guard = parser.add_argument_group("robustness")
     guard.add_argument(
         "--check-every",
@@ -472,6 +481,7 @@ def main(argv: list[str] | None = None) -> int:
         checkpoint_dir=args.checkpoint,
         checkpoint_every=args.checkpoint_every,
         cache_dir=cache_dir,
+        engine=args.engine,
     )
     supervisor = _supervisor_config(args, cache_dir)
     if args.resume and supervisor.journal_path is None:

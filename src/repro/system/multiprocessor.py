@@ -108,7 +108,14 @@ class Multiprocessor:
     2000
     """
 
-    __slots__ = ("layout", "config", "bus", "version_counter", "hierarchies")
+    __slots__ = (
+        "layout",
+        "config",
+        "bus",
+        "version_counter",
+        "hierarchies",
+        "engine",
+    )
 
     def __init__(
         self,
@@ -118,13 +125,21 @@ class Multiprocessor:
         seed: int = 0,
         bus: Bus | None = None,
         tracer: Any = None,
+        engine: str = "object",
     ) -> None:
+        if engine not in ("object", "soa"):
+            raise ValueError(f"unknown engine {engine!r} (use 'object' or 'soa')")
         self.layout = layout
         self.config = config
+        self.engine = engine
         self.bus = bus if bus is not None else Bus(MainMemory())
         self.version_counter = VersionCounter()
+        if engine == "soa":
+            from ..core.soa import SoAHierarchy as hierarchy_cls
+        else:
+            hierarchy_cls = TwoLevelHierarchy
         self.hierarchies = [
-            TwoLevelHierarchy(
+            hierarchy_cls(
                 config,
                 layout,
                 self.bus,
@@ -187,11 +202,19 @@ class Multiprocessor:
             and not check_values
             and max_refs is None
         ):
-            refs = self._run_fast(records)
+            if self.engine == "soa":
+                refs = self._run_soa(records)
+            else:
+                refs = self._run_fast(records)
         else:
             refs, guard_seconds = self._run_general(
                 records, check_values, max_refs, injector, guard, ref_offset
             )
+            if self.engine == "soa":
+                # The SoA change logs are only consumed by _run_soa;
+                # a long object-path run would grow them unboundedly.
+                for hier in self.hierarchies:
+                    hier.clear_change_logs()
         timings = {"replay_s": perf_counter() - started}
         if guard is not None:
             timings["guard_s"] = guard_seconds
@@ -202,6 +225,12 @@ class Multiprocessor:
             timings=timings,
             tlb_per_cpu=[hier.tlb.stats.as_dict() for hier in self.hierarchies],
         )
+
+    def _run_soa(self, records: Iterable[TraceRecord]) -> int:
+        """The struct-of-arrays replay loop (``engine="soa"``)."""
+        from ..core.soa import run_soa
+
+        return run_soa(self, records)
 
     def _run_fast(self, records: Iterable[TraceRecord]) -> int:
         """The unguarded replay loop — every attribute hoisted into a
