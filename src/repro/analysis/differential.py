@@ -103,17 +103,27 @@ class WorkloadDiff:
 
 
 def _run_engine(
-    engine: str, name: str, scale: float, config: HierarchyConfig
+    engine: str,
+    name: str,
+    scale: float,
+    config: HierarchyConfig,
+    streamed: bool = False,
 ) -> EngineRun:
     from ..faults.checkpoint import export_machine
 
     spec = get_spec(name, scale)
-    workload = make_workload(name, scale)
-    machine = Multiprocessor(
-        workload.layout, spec.n_cpus, config, engine=engine
-    )
+    if streamed:
+        from ..trace.stream import SyntheticTraceStream
+
+        trace: Any = SyntheticTraceStream(spec)
+        layout = trace.layout
+    else:
+        workload = make_workload(name, scale)
+        trace = workload
+        layout = workload.layout
+    machine = Multiprocessor(layout, spec.n_cpus, config, engine=engine)
     started = perf_counter()
-    result = machine.run(workload)
+    result = machine.run(trace)
     seconds = perf_counter() - started
     metrics = result.metrics().snapshot()
     metrics_bytes = json.dumps(metrics, sort_keys=True).encode()
@@ -132,53 +142,86 @@ def _run_engine(
 
 
 def _first_counter_diff(
-    label: str, a: dict[Any, int], b: dict[Any, int]
+    label: str,
+    a: dict[Any, int],
+    b: dict[Any, int],
+    a_name: str = "object",
+    b_name: str = "soa",
 ) -> list[str]:
     out = []
     for key in sorted(set(a) | set(b), key=repr):
         if a.get(key, 0) != b.get(key, 0):
             out.append(
-                f"{label}[{key!r}]: object={a.get(key, 0)} soa={b.get(key, 0)}"
+                f"{label}[{key!r}]: {a_name}={a.get(key, 0)} "
+                f"{b_name}={b.get(key, 0)}"
             )
     return out
+
+
+def _compare_runs(
+    ref: EngineRun, other: EngineRun, label: str
+) -> list[str]:
+    """Every observable of *other* checked against the reference run."""
+    ref_name = ref.engine
+    mismatches: list[str] = []
+    if ref.refs != other.refs:
+        mismatches.append(
+            f"refs: {ref_name}={ref.refs} {label}={other.refs}"
+        )
+    for cpu, (a, b) in enumerate(zip(ref.counters, other.counters)):
+        mismatches += _first_counter_diff(f"cpu{cpu}", a, b, ref_name, label)
+    for cpu, (a, b) in enumerate(zip(ref.tlb, other.tlb)):
+        mismatches += _first_counter_diff(f"tlb{cpu}", a, b, ref_name, label)
+    mismatches += _first_counter_diff("bus", ref.bus, other.bus, ref_name, label)
+    mismatches += _first_counter_diff(
+        "memory", ref.memory, other.memory, ref_name, label
+    )
+    if ref.metrics_bytes != other.metrics_bytes:
+        mismatches.append(f"{label}: metrics snapshots differ byte-wise")
+    if ref.state_digest != other.state_digest:
+        mismatches.append(
+            f"state digests differ: {ref_name}={ref.state_digest[:16]}… "
+            f"{label}={other.state_digest[:16]}…"
+        )
+    return mismatches
 
 
 def diff_workload(
     name: str,
     scale: float = DEFAULT_SCALE,
     config: HierarchyConfig | None = None,
+    streamed: bool = False,
 ) -> WorkloadDiff:
-    """Replay *name* on both engines and compare every observable."""
+    """Replay *name* on both engines and compare every observable.
+
+    With *streamed*, both engines additionally replay the workload
+    through the bounded-chunk stream layer, and all four runs must
+    agree — the streaming-equivalence acceptance check.
+    """
     if config is None:
         config = HierarchyConfig.sized("4K", "64K")
-    runs = {
+    runs: dict[str, EngineRun] = {
         engine: _run_engine(engine, name, scale, config)
         for engine in ENGINES
     }
-    ref, soa = runs["object"], runs["soa"]
+    if streamed:
+        for engine in ENGINES:
+            runs[f"{engine}+stream"] = _run_engine(
+                engine, name, scale, config, streamed=True
+            )
+    ref = runs["object"]
     mismatches: list[str] = []
-    if ref.refs != soa.refs:
-        mismatches.append(f"refs: object={ref.refs} soa={soa.refs}")
-    for cpu, (a, b) in enumerate(zip(ref.counters, soa.counters)):
-        mismatches += _first_counter_diff(f"cpu{cpu}", a, b)
-    for cpu, (a, b) in enumerate(zip(ref.tlb, soa.tlb)):
-        mismatches += _first_counter_diff(f"tlb{cpu}", a, b)
-    mismatches += _first_counter_diff("bus", ref.bus, soa.bus)
-    mismatches += _first_counter_diff("memory", ref.memory, soa.memory)
-    if ref.metrics_bytes != soa.metrics_bytes:
-        mismatches.append("metrics snapshots differ byte-wise")
-    if ref.state_digest != soa.state_digest:
-        mismatches.append(
-            f"state digests differ: object={ref.state_digest[:16]}… "
-            f"soa={soa.state_digest[:16]}…"
-        )
+    for label, run in runs.items():
+        if label == "object":
+            continue
+        mismatches += _compare_runs(ref, run, label)
     return WorkloadDiff(
         workload=name,
         scale=scale,
         refs=ref.refs,
         equal=not mismatches,
         mismatches=mismatches,
-        seconds={engine: runs[engine].seconds for engine in ENGINES},
+        seconds={label: run.seconds for label, run in runs.items()},
     )
 
 
@@ -186,10 +229,11 @@ def diff_all(
     scale: float = DEFAULT_SCALE,
     config: HierarchyConfig | None = None,
     workloads: Sequence[str] | None = None,
+    streamed: bool = False,
 ) -> list[WorkloadDiff]:
     """Differential comparison over the tier-1 workload set."""
     names = list(workloads) if workloads else workload_names()
-    return [diff_workload(name, scale, config) for name in names]
+    return [diff_workload(name, scale, config, streamed) for name in names]
 
 
 _KINDS = {
@@ -227,6 +271,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="hierarchy organisation (default vr)",
     )
     parser.add_argument(
+        "--streamed",
+        action="store_true",
+        help="also replay each engine through the bounded-chunk stream "
+        "layer and require all four runs to agree",
+    )
+    parser.add_argument(
         "--json-out", metavar="PATH", help="write the verdicts as JSON"
     )
     return parser
@@ -235,7 +285,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     config = HierarchyConfig.sized(args.l1, args.l2, kind=_KINDS[args.kind])
-    diffs = diff_all(args.scale, config, args.workload)
+    diffs = diff_all(args.scale, config, args.workload, args.streamed)
     for diff in diffs:
         status = "ok " if diff.equal else "FAIL"
         timing = " ".join(

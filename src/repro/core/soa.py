@@ -1838,37 +1838,72 @@ def run_soa(machine: Any, records: Any) -> int:
             empty,
         )
 
-    it = iter(records)
     k_i = RefKind.INSTR
     k_r = RefKind.READ
     k_w = RefKind.WRITE
     k_cs = RefKind.CSWITCH
-    while True:
-        batch = list(islice(it, _BATCH))
-        count = len(batch)
-        if not count:
-            break
-        cpu_l = [r.cpu for r in batch]
-        pid_l = [r.pid for r in batch]
-        vad_l = [r.vaddr for r in batch]
-        # Identity compares beat the enum-dict lookup: ``RefKind``
-        # members hash through ``Enum.__hash__`` (a Python call).
-        kc_l = [
-            0
-            if (k := r.kind) is k_i
-            else 1
-            if k is k_r
-            else 2
-            if k is k_w
-            else 3
-            if k is k_cs
-            else 4
-            for r in batch
-        ]
-        cpu_np = np.asarray(cpu_l, dtype=np.int64)
-        pid_np = np.asarray(pid_l, dtype=np.int64)
-        kind_np = np.asarray(kc_l, dtype=np.int64)
-        vad_np = np.asarray(vad_l, dtype=np.int64)
+
+    def _batch_source():
+        # Chunked streams (repro.trace.stream) already carry each
+        # batch in this engine's own vector layout — same int64
+        # dtype, same 0-4 kind codes — so their arrays feed the
+        # classifier directly and no TraceRecord is ever built.
+        chunks = getattr(records, "chunks", None)
+        if chunks is not None:
+            for chunk in chunks():
+                yield (
+                    chunk.cpu.tolist(),
+                    chunk.pid.tolist(),
+                    chunk.vaddr.tolist(),
+                    chunk.kind.tolist(),
+                    chunk.cpu,
+                    chunk.pid,
+                    chunk.kind,
+                    chunk.vaddr,
+                )
+            return
+        it = iter(records)
+        while True:
+            batch = list(islice(it, _BATCH))
+            if not batch:
+                return
+            c_l = [r.cpu for r in batch]
+            p_l = [r.pid for r in batch]
+            v_l = [r.vaddr for r in batch]
+            # Identity compares beat the enum-dict lookup: ``RefKind``
+            # members hash through ``Enum.__hash__`` (a Python call).
+            k_l = [
+                0
+                if (k := r.kind) is k_i
+                else 1
+                if k is k_r
+                else 2
+                if k is k_w
+                else 3
+                if k is k_cs
+                else 4
+                for r in batch
+            ]
+            yield (
+                c_l,
+                p_l,
+                v_l,
+                k_l,
+                np.asarray(c_l, dtype=np.int64),
+                np.asarray(p_l, dtype=np.int64),
+                np.asarray(k_l, dtype=np.int64),
+                np.asarray(v_l, dtype=np.int64),
+            )
+            if len(batch) < _BATCH:
+                return
+
+    # The names below are the cells _classify / esc / cs close over:
+    # the unpacking must happen in run_soa's own body so each batch
+    # rebinds those cells.
+    for cpu_l, pid_l, vad_l, kc_l, cpu_np, pid_np, kind_np, vad_np in (
+        _batch_source()
+    ):
+        count = len(cpu_l)
         pos = 0
         while pos < count:
             end = pos + _CHUNK
@@ -1925,8 +1960,6 @@ def run_soa(machine: Any, records: Any) -> int:
             )
             _flush_counters()
             pos = end
-        if count < _BATCH:
-            break
 
     for c, h in enumerate(hiers):
         h._refs = refs_l[c]

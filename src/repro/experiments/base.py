@@ -15,8 +15,9 @@ raise it — 1.0 reproduces the full trace lengths.
 from __future__ import annotations
 
 import os
+import re
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from time import perf_counter
 
 from ..faults import (
@@ -105,6 +106,12 @@ class RunOptions:
             disk caching (the in-process memo still applies).
         engine: replay core — "object" (the reference hierarchy) or
             "soa" (the struct-of-arrays core, DESIGN §13).
+        stream: replay synthetic traces through the bounded-chunk
+            stream layer (DESIGN §14) instead of materialising them.
+        trace_provenance: ``(format, version, digest)`` of an external
+            trace feeding the run; :func:`simulate` fills it in for
+            ``file:`` traces so cached results are pinned to the exact
+            file bytes they were computed from.
     """
 
     check_every: int | None = None
@@ -115,6 +122,8 @@ class RunOptions:
     checkpoint_every: int = 50_000
     cache_dir: str | None = None
     engine: str = "object"
+    stream: bool = False
+    trace_provenance: tuple | None = None
 
     def result_key_parts(self) -> tuple:
         """The option fields that can affect simulation *results*.
@@ -136,6 +145,11 @@ class RunOptions:
             # SoA regression (the differential harness depends on both
             # actually running).
             self.engine,
+            # Same reasoning for streamed replay: provably identical
+            # to in-memory replay, but keyed apart so the streaming
+            # equivalence checks always exercise the stream path.
+            self.stream,
+            self.trace_provenance,
         )
 
 
@@ -222,6 +236,27 @@ def trace_records(
     return result
 
 
+def trace_stream(name: str, scale: float):
+    """A bounded-memory trace stream for *name*, with layout and CPUs.
+
+    ``file:<path>`` names open an external trace file or directory
+    (format sniffed by :func:`repro.trace.formats.open_trace`) over a
+    demand-mapped layout; any other name streams the synthetic
+    workload at *scale* without materialising it.  Returns
+    ``(stream, layout, n_cpus)``.
+    """
+    from ..mmu.address_space import DemandLayout
+    from ..trace.formats import open_trace
+    from ..trace.stream import SyntheticTraceStream
+
+    if name.startswith("file:"):
+        stream = open_trace(name[len("file:") :])
+        return stream, DemandLayout(), stream.n_cpus or 2
+    spec = get_spec(name, scale)
+    synthetic = SyntheticTraceStream(spec)
+    return synthetic, synthetic.layout, spec.n_cpus
+
+
 def simulation_key(
     trace_name: str,
     scale: float,
@@ -300,6 +335,17 @@ def simulate(
     """
     global _executed_simulations
     options = _run_options
+    streaming = options.stream or trace_name.startswith("file:")
+    stream = None
+    stream_layout = None
+    stream_cpus = 0
+    if streaming:
+        stream, stream_layout, stream_cpus = trace_stream(trace_name, scale)
+        # Pin the cached result to the exact trace bytes/spec it was
+        # computed from, so one file can never answer for another.
+        provenance = stream.provenance()
+        if provenance != options.trace_provenance:
+            options = replace(options, trace_provenance=provenance)
     key = simulation_key(
         trace_name,
         scale,
@@ -331,9 +377,14 @@ def simulate(
             get_recorder().record(cache_key, stored)
             return stored
     gen_started = perf_counter()
-    records, layout = trace_records(trace_name, scale)
+    if streaming:
+        records: object = stream
+        layout = stream_layout
+        n_cpus = stream_cpus
+    else:
+        records, layout = trace_records(trace_name, scale)
+        n_cpus = get_spec(trace_name, scale).n_cpus
     trace_gen_s = perf_counter() - gen_started
-    spec = get_spec(trace_name, scale)
     config = HierarchyConfig.sized(
         l1_size,
         l2_size,
@@ -360,7 +411,7 @@ def simulate(
         guard = InvariantGuard(options.guard_policy, options.check_every)
 
     machine = Multiprocessor(
-        layout, spec.n_cpus, config, seed=seed, bus=bus, engine=options.engine
+        layout, n_cpus, config, seed=seed, bus=bus, engine=options.engine
     )
     if options.checkpoint_dir is not None:
         os.makedirs(options.checkpoint_dir, exist_ok=True)
@@ -368,6 +419,9 @@ def simulate(
             str(part.value if isinstance(part, HierarchyKind) else part)
             for part in key
         )
+        # "file:/path/to.rtb" trace names carry path separators that
+        # must not leak into the checkpoint file name.
+        stem = re.sub(r"[^A-Za-z0-9._-]+", "_", stem)
         path = os.path.join(options.checkpoint_dir, f"{stem}.ckpt")
         result = run_checkpointed(
             machine,

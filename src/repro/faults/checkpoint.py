@@ -31,6 +31,7 @@ from ..hierarchy.rcache import RCacheBlock, SubEntry
 from ..hierarchy.twolevel import TwoLevelHierarchy
 from ..system.multiprocessor import Multiprocessor, SimulationResult
 from ..trace.record import TraceCursor, TraceRecord
+from ..trace.stream import StreamCursor, TraceStream
 
 FORMAT = "repro-checkpoint"
 VERSION = 1
@@ -169,6 +170,11 @@ def export_machine(
         "bus_stats": machine.bus.stats.export_state(),
         "hierarchies": [export_hierarchy(h) for h in machine.hierarchies],
     }
+    # Demand-mapped layouts (external traces) build their page tables
+    # during the run, so the mapping is replay state: without it a
+    # resume would re-allocate frames in resume order and diverge.
+    if hasattr(machine.layout, "export_state"):
+        state["layout"] = machine.layout.export_state()
     if injector is not None:
         state["injector"] = injector.export_state()
     if guard is not None:
@@ -189,6 +195,8 @@ def restore_machine(
             f"machine has {machine.n_cpus}"
         )
     machine.version_counter.next_value = state["next_version"]
+    if "layout" in state and hasattr(machine.layout, "restore_state"):
+        machine.layout.restore_state(state["layout"])
     machine.bus.memory.restore_state(state["memory"])
     machine.bus.stats.restore_state(state["bus_stats"])
     for hier, hier_state in zip(machine.hierarchies, state["hierarchies"]):
@@ -240,7 +248,7 @@ def load_checkpoint(path: str) -> dict:
 
 def run_checkpointed(
     machine: Multiprocessor,
-    records: Sequence[TraceRecord],
+    records: Sequence[TraceRecord] | TraceStream,
     path: str,
     key: tuple | None = None,
     chunk: int = 50_000,
@@ -250,6 +258,12 @@ def run_checkpointed(
     on_chunk: Callable[[int], None] | None = None,
 ) -> SimulationResult:
     """Replay *records* with a checkpoint after every *chunk* records.
+
+    *records* is either a materialised sequence or a
+    :class:`~repro.trace.stream.TraceStream` — a stream is consumed
+    through a :class:`~repro.trace.stream.StreamCursor`, so only one
+    batch is ever held in memory and a resume re-enters the stream at
+    the checkpointed absolute position.
 
     If *path* exists, the run resumes from it (validating *key*, a
     tuple identifying the experiment configuration, against the saved
@@ -271,9 +285,12 @@ def run_checkpointed(
         position, refs_done = restore_machine(
             machine, state, injector=injector, guard=guard
         )
-    cursor = TraceCursor(records, position)
-    while not cursor.exhausted:
-        batch = cursor.take(chunk)
+    cursor: TraceCursor | StreamCursor
+    if isinstance(records, TraceStream):
+        cursor = StreamCursor(records, position)
+    else:
+        cursor = TraceCursor(records, position)
+    while batch := cursor.take(chunk):
         result = machine.run(
             batch,
             check_values=check_values,

@@ -149,3 +149,57 @@ class MemoryLayout:
     def physical_size(self) -> int:
         """Bytes of physical memory allocated so far."""
         return self.allocator.frames_allocated * self.page_size
+
+
+class DemandLayout(MemoryLayout):
+    """A layout that maps pages on first touch.
+
+    External traces (binary/din files, SynchroTrace lowerings) carry
+    no segment map, so their address spaces cannot be pre-built the
+    way the synthetic generator's can.  This layout allocates a fresh
+    frame the first time a (pid, page) is referenced — a bump
+    allocation, so physical placement is a pure function of first
+    touch order, which is the trace order.  Replaying the same trace
+    therefore always produces the same translations, in either engine.
+
+    Because the mapping is built *during* the run, it is replay state:
+    checkpoints must carry it (:meth:`export_state` /
+    :meth:`restore_state`), otherwise a resumed run would re-allocate
+    frames in resume-order rather than trace-order and diverge.
+    """
+
+    def translate(self, pid: int, vaddr: int) -> int:
+        """Translate, mapping the page on first touch."""
+        table = self.table(pid)
+        vpage, offset = divmod(vaddr, self.page_size)
+        frame = table._map.get(vpage)
+        if frame is None:
+            frame = self.allocator.allocate(1)
+            table.map(vpage, frame)
+            self.reverse_map.note(frame, pid, vpage)
+        return (frame << table._page_shift) | offset
+
+    def export_state(self) -> dict:
+        """The on-demand mapping as checkpointable plain data."""
+        return {
+            "next_frame": self.allocator._next_frame,
+            "tables": {
+                str(pid): {
+                    str(vpage): frame
+                    for vpage, frame in sorted(table._map.items())
+                }
+                for pid, table in sorted(self._tables.items())
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a mapping exported by :meth:`export_state`."""
+        self.allocator._next_frame = int(state["next_frame"])
+        self._tables.clear()
+        self.reverse_map = ReverseMap()
+        for pid_s, pages in state["tables"].items():
+            table = self.table(int(pid_s))
+            for vpage_s, frame in pages.items():
+                vpage = int(vpage_s)
+                table._map[vpage] = int(frame)
+                self.reverse_map.note(int(frame), int(pid_s), vpage)

@@ -257,7 +257,13 @@ def _job_payload(job: SimJob) -> dict[str, Any]:
 
 @dataclass(frozen=True)
 class JournalEntry:
-    """One finished job: its digest and how it ended."""
+    """One finished job: its digest and how it ended.
+
+    ``position`` is the trace position (records consumed) the job
+    reached — for successful jobs the full trace length, echoing the
+    chunk offsets the checkpoint layer saves, so a resume can report
+    where each interrupted run will re-enter its trace.
+    """
 
     key: str
     outcome: str
@@ -265,6 +271,7 @@ class JournalEntry:
     options: str
     schema: str
     elapsed_s: float
+    position: int = 0
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -275,6 +282,7 @@ class JournalEntry:
             "options": self.options,
             "schema": self.schema,
             "elapsed_s": round(self.elapsed_s, 3),
+            "position": self.position,
         }
 
 
@@ -339,6 +347,7 @@ class RunJournal:
                         options=raw["options"],
                         schema=raw["schema"],
                         elapsed_s=float(raw["elapsed_s"]),
+                        position=int(raw.get("position", 0)),
                     )
                 except (KeyError, TypeError, ValueError):
                     continue
@@ -413,7 +422,7 @@ class Supervisor:
     # -- outcome handling ------------------------------------------------------
 
     def _journal_entry(
-        self, state: _JobState, outcome: str, attempts: int
+        self, state: _JobState, outcome: str, attempts: int, position: int = 0
     ) -> None:
         if self._journal is None:
             return
@@ -425,6 +434,7 @@ class Supervisor:
                 options=self._options_digest,
                 schema=schema_hash(),
                 elapsed_s=perf_counter() - state.enqueued,
+                position=position,
             )
         )
 
@@ -441,7 +451,9 @@ class Supervisor:
         if state.attempts:
             report.retried += 1
         report.outcomes[state.digest] = outcome
-        self._journal_entry(state, outcome, len(state.attempts) + 1)
+        self._journal_entry(
+            state, outcome, len(state.attempts) + 1, result.refs_processed
+        )
 
     def _quarantine(
         self, report: "RunReport", state: _JobState, reason: str

@@ -174,6 +174,12 @@ class Multiprocessor:
     ) -> SimulationResult:
         """Replay *records* through the machine.
 
+        *records* is any iterable of :class:`TraceRecord` — a list, a
+        generator, or a :class:`~repro.trace.stream.TraceStream`
+        (streams iterate as records; the SoA engine additionally
+        recognises a stream's ``chunks`` attribute and consumes its
+        vectors directly, holding one bounded chunk at a time).
+
         With *check_values*, every read is compared against a value
         oracle (the globally most recent write to its physical block);
         a mismatch raises :class:`ProtocolError`, making this the

@@ -1,8 +1,20 @@
-"""Trace substrate: records, synthetic generation, surrogates, I/O."""
+"""Trace substrate: records, synthetic generation, surrogates, I/O,
+and the bounded-chunk streaming layer (DESIGN.md §14)."""
 
 from .analyze import CallWriteProfile, TraceSummary, profile_call_writes, summarize
+from .binio import BinaryTraceReader, BinaryTraceWriter, write_binary
+from .formats import TextTraceStream, open_trace, sniff_format
 from .record import RefKind, TraceCursor, TraceRecord
 from .reuse import ReuseDistanceProfile, profile_reuse_distances
+from .stream import (
+    DEFAULT_CHUNK_RECORDS,
+    StreamCursor,
+    SyntheticTraceStream,
+    TraceChunk,
+    TraceStream,
+    chunk_iter,
+)
+from .synchro import SynchroTraceReader
 from .synthetic import CALL_WRITE_WEIGHTS, SyntheticWorkload, WorkloadSpec
 from .textio import dump, load, parse_line
 from .workloads import (
@@ -17,25 +29,38 @@ from .workloads import (
 
 __all__ = [
     "ABAQUS",
+    "BinaryTraceReader",
+    "BinaryTraceWriter",
     "CALL_WRITE_WEIGHTS",
     "CallWriteProfile",
+    "DEFAULT_CHUNK_RECORDS",
     "FULL_SCALE_REFS",
     "POPS",
     "RefKind",
     "ReuseDistanceProfile",
+    "StreamCursor",
+    "SynchroTraceReader",
+    "SyntheticTraceStream",
     "SyntheticWorkload",
     "THOR",
+    "TextTraceStream",
+    "TraceChunk",
     "TraceCursor",
     "TraceRecord",
+    "TraceStream",
     "TraceSummary",
     "WorkloadSpec",
+    "chunk_iter",
     "dump",
     "get_spec",
     "load",
     "make_workload",
+    "open_trace",
     "parse_line",
     "profile_reuse_distances",
     "profile_call_writes",
+    "sniff_format",
     "summarize",
     "workload_names",
+    "write_binary",
 ]

@@ -1,0 +1,301 @@
+"""SynchroTrace-style per-thread event traces, lowered to records.
+
+SynchroTrace-format traces (Nilakantan et al.) capture one gzip'd
+event file per thread, ``sigil.events.out-<tid>.gz``, holding
+dependency-annotated events rather than a flat reference stream:
+
+``compute/memory``
+    ``<ev>,<tid>,<iops>,<flops>,<reads>,<writes>`` followed by
+    address ranges — `` * <start> <end>`` for reads and
+    `` $ <start> <end>`` for writes.
+
+``communication``
+    ``<ev>,<tid> # <prod_tid> <prod_ev> <start> <end>`` — a read of
+    a range produced by another thread's event.
+
+``pthread marker``
+    ``<ev>,<tid>,pth_ty:<n>^<addr>`` — synchronisation API calls.
+
+This reader *lowers* those events into the simulator's flat
+:class:`~repro.trace.record.TraceRecord` stream:
+
+- Each thread becomes a process (``pid = tid``) scheduled round-robin
+  onto ``cpu = tid % n_cpus`` — one event per thread per turn, which
+  interleaves the threads the way the paper's multiprogrammed traces
+  interleave processes.
+- A compute/memory event emits one INSTR fetch at the thread's
+  program counter (advanced by the instruction-op count), then a READ
+  per byte-range start for each read range and a WRITE per write
+  range.  Ranges wider than :attr:`SynchroTraceReader.max_range_refs`
+  emit one reference per ``range_stride`` bytes, capped — event
+  traces encode *footprint*, not per-byte references.
+- A communication read emits READs of the produced range (the
+  dependency edge is honoured implicitly: producers appear earlier in
+  their own thread file, and round-robin keeps interleaving fair).
+- A pthread marker emits a single READ of the synchronisation
+  variable's address (lock metadata lives in memory too).
+
+The lowering is deterministic — same files, same records — so
+provenance hashing of the input files keys the result cache soundly.
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import re
+from collections.abc import Iterator
+from pathlib import Path
+
+from ..common.errors import TraceFormatError
+from .record import RefKind, TraceRecord
+from .stream import DEFAULT_CHUNK_RECORDS, TraceChunk, TraceStream, chunk_iter
+
+#: File-name shape of one thread's event file.
+THREAD_FILE_RE = re.compile(r"^sigil\.events\.out-(\d+)\.gz$")
+
+#: Where each thread's synthetic program counter starts (thread-local
+#: code segments, 1 MiB apart).
+_PC_BASE = 0x0040_0000
+_PC_STRIDE = 0x0010_0000
+
+
+def thread_files(directory: str | Path) -> list[tuple[int, Path]]:
+    """``(tid, path)`` pairs for every thread event file, tid-sorted."""
+    directory = Path(directory)
+    found: list[tuple[int, Path]] = []
+    for path in directory.iterdir():
+        match = THREAD_FILE_RE.match(path.name)
+        if match:
+            found.append((int(match.group(1)), path))
+    found.sort()
+    return found
+
+
+def _parse_int(token: str, path: Path, lineno: int, what: str) -> int:
+    try:
+        return int(token)
+    except ValueError:
+        raise TraceFormatError(
+            f"{path.name}:{lineno}: {what} {token!r} is not an integer"
+        ) from None
+
+
+class _Event:
+    """One parsed event, pre-lowered to its record template."""
+
+    __slots__ = ("iops", "reads", "writes", "comm_ranges", "sync_addr")
+
+    def __init__(self) -> None:
+        self.iops = 0
+        self.reads: list[tuple[int, int]] = []
+        self.writes: list[tuple[int, int]] = []
+        self.comm_ranges: list[tuple[int, int]] = []
+        self.sync_addr: int | None = None
+
+
+def parse_event_line(line: str, path: Path, lineno: int) -> _Event:
+    """Parse one raw event line into an :class:`_Event`.
+
+    Raises :class:`TraceFormatError` with the file/line context for
+    anything malformed.
+    """
+    event = _Event()
+    line = line.strip()
+    if "#" in line:
+        head, _, deps = line.partition("#")
+        if head.count(",") != 1:
+            raise TraceFormatError(
+                f"{path.name}:{lineno}: malformed communication event header"
+            )
+        tokens = deps.split()
+        if len(tokens) % 4 != 0 or not tokens:
+            raise TraceFormatError(
+                f"{path.name}:{lineno}: communication edge needs groups of "
+                f"4 fields (prod_tid prod_ev start end), got {len(tokens)}"
+            )
+        for i in range(0, len(tokens), 4):
+            start = _parse_int(tokens[i + 2], path, lineno, "range start")
+            end = _parse_int(tokens[i + 3], path, lineno, "range end")
+            event.comm_ranges.append((start, end))
+        return event
+    if "pth_ty:" in line:
+        _, _, marker = line.partition("pth_ty:")
+        _ty, sep, addr = marker.partition("^")
+        if not sep:
+            raise TraceFormatError(
+                f"{path.name}:{lineno}: pthread marker missing '^address'"
+            )
+        event.sync_addr = _parse_int(
+            addr.split()[0], path, lineno, "pthread address"
+        )
+        return event
+    # Compute/memory event: CSV head, then optional * / $ range groups.
+    head = line
+    ranges = ""
+    for sep in (" * ", " $ "):
+        idx = head.find(sep)
+        if idx != -1:
+            head, ranges = head[:idx], line[idx:]
+            break
+    fields = head.split(",")
+    if len(fields) != 6:
+        raise TraceFormatError(
+            f"{path.name}:{lineno}: compute event needs 6 comma fields "
+            f"(ev,tid,iops,flops,reads,writes), got {len(fields)}"
+        )
+    event.iops = _parse_int(fields[2], path, lineno, "iops") + _parse_int(
+        fields[3], path, lineno, "flops"
+    )
+    tokens = ranges.split()
+    i = 0
+    while i < len(tokens):
+        sigil = tokens[i]
+        if sigil not in ("*", "$") or i + 2 >= len(tokens):
+            raise TraceFormatError(
+                f"{path.name}:{lineno}: malformed address-range group "
+                f"at token {i} ({sigil!r})"
+            )
+        start = _parse_int(tokens[i + 1], path, lineno, "range start")
+        end = _parse_int(tokens[i + 2], path, lineno, "range end")
+        if end < start:
+            raise TraceFormatError(
+                f"{path.name}:{lineno}: inverted range [{start}, {end}]"
+            )
+        (event.reads if sigil == "*" else event.writes).append((start, end))
+        i += 3
+    return event
+
+
+class SynchroTraceReader(TraceStream):
+    """Streams a SynchroTrace event directory as lowered records.
+
+    Args:
+        directory: directory holding ``sigil.events.out-<tid>.gz``.
+        n_cpus: CPUs to schedule the threads onto (round-robin).
+        range_stride: bytes between emitted references inside one
+            address range (a cache-block-ish granule).
+        max_range_refs: cap on references emitted per range, so one
+            huge memset event cannot dominate the trace.
+    """
+
+    format_name = "synchro"
+    format_version = 1
+
+    def __init__(
+        self,
+        directory: str | Path,
+        n_cpus: int = 2,
+        chunk_records: int = DEFAULT_CHUNK_RECORDS,
+        range_stride: int = 16,
+        max_range_refs: int = 8,
+    ) -> None:
+        if n_cpus < 1:
+            raise TraceFormatError(f"n_cpus must be >= 1, got {n_cpus}")
+        if range_stride < 1 or max_range_refs < 1:
+            raise TraceFormatError(
+                "range_stride and max_range_refs must be >= 1"
+            )
+        self.directory = Path(directory)
+        self.files = thread_files(self.directory)
+        if not self.files:
+            raise TraceFormatError(
+                f"{self.directory}: no sigil.events.out-<tid>.gz files"
+            )
+        self.n_cpus = n_cpus
+        self.chunk_records = chunk_records
+        self.range_stride = range_stride
+        self.max_range_refs = max_range_refs
+
+    # -- lowering ------------------------------------------------------
+
+    def _range_refs(self, start: int, end: int) -> Iterator[int]:
+        stride = self.range_stride
+        count = 0
+        addr = start
+        while addr <= end and count < self.max_range_refs:
+            yield addr
+            addr += stride
+            count += 1
+
+    def _thread_records(self, tid: int, path: Path) -> Iterator[list[TraceRecord]]:
+        """Yield the record burst for each of one thread's events."""
+        cpu = tid % self.n_cpus
+        pc = _PC_BASE + tid * _PC_STRIDE
+        try:
+            with gzip.open(path, "rt", encoding="ascii") as handle:
+                for lineno, line in enumerate(handle, start=1):
+                    if not line.strip():
+                        continue
+                    event = parse_event_line(line, path, lineno)
+                    burst = [TraceRecord(cpu, tid, RefKind.INSTR, pc)]
+                    pc += 4 * max(event.iops, 1)
+                    for start, end in event.reads:
+                        for addr in self._range_refs(start, end):
+                            burst.append(
+                                TraceRecord(cpu, tid, RefKind.READ, addr)
+                            )
+                    for start, end in event.comm_ranges:
+                        for addr in self._range_refs(start, end):
+                            burst.append(
+                                TraceRecord(cpu, tid, RefKind.READ, addr)
+                            )
+                    for start, end in event.writes:
+                        for addr in self._range_refs(start, end):
+                            burst.append(
+                                TraceRecord(cpu, tid, RefKind.WRITE, addr)
+                            )
+                    if event.sync_addr is not None:
+                        burst.append(
+                            TraceRecord(cpu, tid, RefKind.READ, event.sync_addr)
+                        )
+                    yield burst
+        except (OSError, EOFError, UnicodeDecodeError) as exc:
+            raise TraceFormatError(
+                f"{path.name}: unreadable event file: {exc}"
+            ) from exc
+
+    def lowered(self) -> Iterator[TraceRecord]:
+        """The full lowered record stream (round-robin interleaved)."""
+        streams = [
+            self._thread_records(tid, path) for tid, path in self.files
+        ]
+        live = list(range(len(streams)))
+        while live:
+            still_live = []
+            for i in live:
+                burst = next(streams[i], None)
+                if burst is None:
+                    continue
+                yield from burst
+                still_live.append(i)
+            live = still_live
+
+    # -- the stream API ------------------------------------------------
+
+    def chunks(self, start: int = 0) -> Iterator[TraceChunk]:
+        source = self.lowered()
+        if start:
+            skipped = 0
+            for _ in source:
+                skipped += 1
+                if skipped == start:
+                    break
+            if skipped < start:
+                return
+        yield from chunk_iter(source, self.chunk_records, start)
+
+    def provenance(self) -> tuple[str, int, str]:
+        digest = hashlib.sha256()
+        for tid, path in self.files:
+            digest.update(str(tid).encode())
+            digest.update(path.read_bytes())
+        return (self.format_name, self.format_version, digest.hexdigest())
+
+    def describe(self) -> dict:
+        info = super().describe()
+        info["path"] = str(self.directory)
+        info["threads"] = [tid for tid, _ in self.files]
+        info["range_stride"] = self.range_stride
+        info["max_range_refs"] = self.max_range_refs
+        return info

@@ -3,53 +3,110 @@
 Each line is ``<cpu> <pid> <kind> <hex vaddr>``; blank lines and
 ``#`` comments are ignored.  The format exists so traces can be dumped
 once and replayed into many simulator configurations, or produced by
-external tools.
+external tools.  Paths ending in ``.gz`` are transparently
+gzip-compressed on both read and write (written with ``mtime=0`` so
+output is deterministic).
 """
 
 from __future__ import annotations
 
-from pathlib import Path
+import gzip
+import io
 from collections.abc import Iterable, Iterator
+from pathlib import Path
 
 from ..common.errors import TraceFormatError
 from .record import RefKind, TraceRecord
 
 _KINDS = {kind.value: kind for kind in RefKind}
 
+#: Lines buffered between writes in :func:`dump`.
+_DUMP_BATCH = 4096
+
+#: Human names of the four columns, for error reporting.
+_COLUMNS = ("cpu", "pid", "kind", "vaddr")
+
+
+def _open_text_write(path: Path):
+    if path.suffix == ".gz":
+        raw = open(path, "wb")
+        # Empty filename + zero mtime: output depends only on content.
+        gz = gzip.GzipFile(filename="", fileobj=raw, mode="wb", mtime=0)
+        return io.TextIOWrapper(gz, encoding="ascii", newline="\n")
+    return open(path, "w", encoding="ascii", newline="\n")
+
 
 def dump(records: Iterable[TraceRecord], path: str | Path) -> int:
-    """Write *records* to *path*; returns the number written."""
+    """Write *records* to *path*; returns the number written.
+
+    Streams through a buffered writer (one ``writelines`` per
+    :data:`_DUMP_BATCH` lines, never a full materialisation) and
+    gzip-compresses when *path* ends in ``.gz``.
+    """
+    path = Path(path)
     count = 0
-    with open(path, "w", encoding="ascii") as handle:
+    batch: list[str] = []
+    with _open_text_write(path) as handle:
         for record in records:
-            handle.write(f"{record}\n")
-            count += 1
+            batch.append(f"{record}\n")
+            if len(batch) >= _DUMP_BATCH:
+                handle.writelines(batch)
+                count += len(batch)
+                batch.clear()
+        if batch:
+            handle.writelines(batch)
+            count += len(batch)
     return count
 
 
 def parse_line(line: str, lineno: int = 0) -> TraceRecord | None:
-    """Parse one line; returns None for blanks and comments."""
+    """Parse one line; returns None for blanks and comments.
+
+    Malformed fields raise :class:`TraceFormatError` naming the
+    offending column (1-based) alongside the line number.
+    """
     text = line.strip()
     if not text or text.startswith("#"):
         return None
     parts = text.split()
     if len(parts) != 4:
-        raise TraceFormatError(f"line {lineno}: expected 4 fields, got {len(parts)}")
+        raise TraceFormatError(
+            f"line {lineno}: expected 4 fields, got {len(parts)}"
+        )
+
+    def bad(column: int, why: str) -> TraceFormatError:
+        return TraceFormatError(
+            f"line {lineno}: column {column} ({_COLUMNS[column - 1]}): {why}",
+            line=lineno,
+            column=column,
+        )
+
     try:
         cpu = int(parts[0])
+    except ValueError:
+        raise bad(1, f"{parts[0]!r} is not an integer") from None
+    try:
         pid = int(parts[1])
-        kind = _KINDS[parts[2]]
+    except ValueError:
+        raise bad(2, f"{parts[1]!r} is not an integer") from None
+    kind = _KINDS.get(parts[2])
+    if kind is None:
+        raise bad(3, f"unknown kind {parts[2]!r}")
+    try:
         vaddr = int(parts[3], 16)
-    except (ValueError, KeyError) as exc:
-        raise TraceFormatError(f"line {lineno}: {exc}") from exc
-    if cpu < 0 or pid < 0 or vaddr < 0:
-        raise TraceFormatError(f"line {lineno}: negative field")
+    except ValueError:
+        raise bad(4, f"{parts[3]!r} is not a hex address") from None
+    for column, value in enumerate((cpu, pid, 0, vaddr), start=1):
+        if value < 0:
+            raise bad(column, "negative field")
     return TraceRecord(cpu, pid, kind, vaddr)
 
 
 def load(path: str | Path) -> Iterator[TraceRecord]:
-    """Lazily parse the trace file at *path*."""
-    with open(path, encoding="ascii") as handle:
+    """Lazily parse the trace file at *path* (gzip-aware by suffix)."""
+    path = Path(path)
+    opener = gzip.open if path.suffix == ".gz" else open
+    with opener(path, "rt", encoding="ascii") as handle:
         for lineno, line in enumerate(handle, start=1):
             record = parse_line(line, lineno)
             if record is not None:

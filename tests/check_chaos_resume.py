@@ -3,9 +3,11 @@
 Used by CI as::
 
     python -m tests.check_chaos_resume chaos-work
+    python -m tests.check_chaos_resume --stream stream-work [REFS]
 
-It drives the real ``repro-experiment`` CLI as subprocesses and
-replays the acceptance criterion of the resilient runner:
+The default mode drives the real ``repro-experiment`` CLI as
+subprocesses and replays the acceptance criterion of the resilient
+runner:
 
 1. a grid run under seeded worker kills, force-interrupted (SIGINT)
    once the journal shows progress, exits with code 130 and leaves a
@@ -15,6 +17,13 @@ replays the acceptance criterion of the resilient runner:
    quarantined;
 3. a second ``--resume`` re-executes **zero** jobs — every job is a
    disk-cache hit and the journal does not grow.
+
+``--stream`` mode replays the streaming acceptance criterion instead:
+a ~1M-reference gzip-binary trace is generated through the stream
+layer, replayed once uninterrupted (the reference), then replayed
+again with checkpointing and force-SIGINT'd after the first chunk
+checkpoint lands; a final run resumes from that checkpoint and its
+counters must be **bit-identical** to the uninterrupted reference.
 
 Stdlib only; exits non-zero with a diagnostic on any failure.
 """
@@ -99,10 +108,174 @@ def _interrupted_run(work: Path) -> int:
     return code
 
 
+#: Streamed-smoke trace length (memory references): just past 1M at
+#: full pops reference density.
+STREAM_REFS = 1_002_000
+_POPS_FULL_REFS = 3_286_000
+_STREAM_CHECKPOINT_EVERY = 200_000
+
+
+def _stream_replay_cmd(trace: Path, checkpoints: Path) -> list[str]:
+    return [
+        sys.executable,
+        "-m",
+        "repro.trace.cli",
+        "replay",
+        str(trace),
+        "--l1",
+        "4K",
+        "--l2",
+        "64K",
+        "--engine",
+        "soa",
+        "--checkpoint-dir",
+        str(checkpoints),
+        "--checkpoint-every",
+        str(_STREAM_CHECKPOINT_EVERY),
+    ]
+
+
+def _stream_interrupted_run(trace: Path, checkpoints: Path) -> int:
+    """Start a checkpointed replay, SIGINT it at the first checkpoint."""
+    proc = subprocess.Popen(
+        _stream_replay_cmd(trace, checkpoints),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+        text=True,
+        preexec_fn=os.setsid,
+    )
+    deadline = time.monotonic() + WAIT_S
+    try:
+        while time.monotonic() < deadline:
+            if proc.poll() is not None:
+                break
+            if any(checkpoints.glob("*.ckpt")):
+                os.killpg(proc.pid, signal.SIGINT)
+                break
+            time.sleep(0.05)
+        code = proc.wait(timeout=WAIT_S)
+    except subprocess.TimeoutExpired:
+        os.killpg(proc.pid, signal.SIGKILL)
+        print("FAIL: interrupted replay did not exit in time", file=sys.stderr)
+        return -1
+    finally:
+        if proc.stderr is not None:
+            sys.stderr.write(proc.stderr.read())
+    return code
+
+
+def stream_main(work: Path, refs: int = STREAM_REFS) -> int:
+    """The streaming smoke: generate, interrupt mid-trace, resume."""
+    work.mkdir(parents=True, exist_ok=True)
+    trace = work / "stream.rtb"
+    scale = refs / _POPS_FULL_REFS
+
+    if trace.is_file() and trace.stat().st_size > 0:
+        # CI restores the trace from an actions/cache entry keyed on
+        # the trace-layer sources; the reference-length guard below
+        # still rejects a trace that doesn't match the requested refs.
+        print(f"reusing cached {trace} ({trace.stat().st_size} bytes)")
+    else:
+        gen = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.trace.cli",
+                "gen",
+                "pops",
+                "--scale",
+                f"{scale:.6f}",
+                "--stream",
+                "--out",
+                str(trace),
+            ],
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        sys.stderr.write(gen.stderr)
+        if gen.returncode != 0:
+            print(f"FAIL: trace generation exited {gen.returncode}", file=sys.stderr)
+            return 1
+        print(f"generated {trace} ({trace.stat().st_size} bytes)")
+
+    ref_ck = work / "ck-reference"
+    reference = subprocess.run(
+        _stream_replay_cmd(trace, ref_ck),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    sys.stderr.write(reference.stderr)
+    if reference.returncode != 0:
+        print(
+            f"FAIL: reference replay exited {reference.returncode}",
+            file=sys.stderr,
+        )
+        return 1
+    expected = json.loads(reference.stdout)
+    if expected["refs_processed"] < refs * 0.99:
+        print(
+            f"FAIL: streamed trace too short "
+            f"({expected['refs_processed']} refs, wanted ~{refs})",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"reference replay: {expected['refs_processed']} refs")
+
+    resume_ck = work / "ck-resume"
+    code = _stream_interrupted_run(trace, resume_ck)
+    if code == 0:
+        print("WARNING: replay finished before the SIGINT landed")
+    elif code != 130:
+        print(f"FAIL: interrupted replay exited {code}, wanted 130", file=sys.stderr)
+        return 1
+    else:
+        if not any(resume_ck.glob("*.ckpt")):
+            print("FAIL: interrupted replay left no checkpoint", file=sys.stderr)
+            return 1
+        print("interrupted replay: exit 130 with a mid-trace checkpoint")
+
+    resumed = subprocess.run(
+        _stream_replay_cmd(trace, resume_ck),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    sys.stderr.write(resumed.stderr)
+    if resumed.returncode != 0:
+        print(f"FAIL: resumed replay exited {resumed.returncode}", file=sys.stderr)
+        return 1
+    actual = json.loads(resumed.stdout)
+    if actual != expected:
+        print(
+            "FAIL: resumed counters differ from the uninterrupted run:\n"
+            f"  expected: {json.dumps(expected, sort_keys=True)}\n"
+            f"  actual:   {json.dumps(actual, sort_keys=True)}",
+            file=sys.stderr,
+        )
+        return 1
+    print("resumed replay: counters bit-identical to the uninterrupted run")
+    print("check_chaos_resume --stream: all checks passed")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "--stream":
+        rest = argv[1:]
+        if not rest or len(rest) > 2:
+            print(
+                "usage: python -m tests.check_chaos_resume --stream WORKDIR [REFS]",
+                file=sys.stderr,
+            )
+            return 2
+        refs = int(rest[1]) if len(rest) == 2 else STREAM_REFS
+        return stream_main(Path(rest[0]), refs)
     if len(argv) != 1:
-        print("usage: python -m tests.check_chaos_resume WORKDIR", file=sys.stderr)
+        print(
+            "usage: python -m tests.check_chaos_resume [--stream] WORKDIR",
+            file=sys.stderr,
+        )
         return 2
     work = Path(argv[0])
     work.mkdir(parents=True, exist_ok=True)

@@ -1,0 +1,242 @@
+"""Standalone trace-format conformance check (CI: trace-conformance).
+
+Pins the on-disk trace formats against golden fixtures in
+``tests/fixtures/traces/``::
+
+    python -m tests.check_trace_conformance             # verify
+    python -m tests.check_trace_conformance --work DIR  # keep outputs
+    python -m tests.check_trace_conformance --regen     # rewrite fixtures
+
+``--work`` writes the round-trip outputs to *DIR* instead of a
+temporary directory, so CI can upload them as artifacts on failure.
+
+Checks, in order:
+
+1. every committed fixture's sha256 matches ``digests.json``;
+2. ``repro-trace convert`` round trips are **byte-identical** in both
+   directions (din → rtb → din and rtb → din → rtb);
+3. the SynchroTrace sample directory lowers to a pinned record stream;
+4. regenerating the fixtures from the synthetic generator (both the
+   materialised and ``--stream`` paths) reproduces the committed bytes,
+   so generator, text format and binary format are all pinned at once.
+
+Any byte of drift in a format is a conformance break: either fix the
+regression or consciously re-pin with ``--regen`` (which bumps the
+digests and shows up in review).
+
+Stdlib only; exits non-zero with a diagnostic on any failure.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import gzip
+import hashlib
+import json
+import shutil
+import sys
+import tempfile
+from pathlib import Path
+
+FIXTURES = Path(__file__).parent / "fixtures" / "traces"
+TEXT_FIXTURE = FIXTURES / "tiny.din"
+BINARY_FIXTURE = FIXTURES / "tiny.rtb"
+SYNCHRO_FIXTURE = FIXTURES / "synchro"
+DIGESTS = FIXTURES / "digests.json"
+
+#: Generator coordinates for the tiny fixtures: small enough to commit,
+#: big enough for multi-frame binaries at the fixture chunk size.
+WORKLOAD = "pops"
+SCALE = 0.001
+CHUNK_RECORDS = 256
+
+#: The SynchroTrace sample: two threads exercising compute events with
+#: read/write ranges, a communication edge and a pthread marker.
+SYNCHRO_THREADS = {
+    0: [
+        "1,0,6,0,2,1 * 4096 4127 $ 8192 8207",
+        "2,0,4,0,1,0 * 4160 4175",
+        "3,0,pth_ty:4^268435456",
+    ],
+    1: [
+        "1,1,3,0,1,1 * 12288 12303 $ 12544 12559",
+        "2,1 # 0 1 8192 8223",
+    ],
+}
+
+
+def _sha256(path: Path) -> str:
+    return hashlib.sha256(path.read_bytes()).hexdigest()
+
+
+def _cli(*argv: str) -> int:
+    from repro.trace.cli import main
+
+    return main(list(argv))
+
+
+def _fail(message: str) -> int:
+    print(f"FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def _lowered_synchro(workdir: Path) -> Path:
+    """Lower the SynchroTrace sample to din text in *workdir*."""
+    out = workdir / "synchro-lowered.din"
+    code = _cli("convert", str(SYNCHRO_FIXTURE), str(out))
+    if code != 0:
+        raise RuntimeError(f"synchro convert exited {code}")
+    return out
+
+
+def regen() -> int:
+    """Rewrite every fixture and pin the fresh digests."""
+    FIXTURES.mkdir(parents=True, exist_ok=True)
+    _cli(
+        "gen", WORKLOAD, "--scale", str(SCALE),
+        "--out", str(TEXT_FIXTURE), "--chunk-records", str(CHUNK_RECORDS),
+    )
+    _cli(
+        "gen", WORKLOAD, "--scale", str(SCALE), "--stream",
+        "--out", str(BINARY_FIXTURE), "--chunk-records", str(CHUNK_RECORDS),
+    )
+    if SYNCHRO_FIXTURE.is_dir():
+        shutil.rmtree(SYNCHRO_FIXTURE)
+    SYNCHRO_FIXTURE.mkdir()
+    for tid, lines in SYNCHRO_THREADS.items():
+        raw = ("\n".join(lines) + "\n").encode("ascii")
+        path = SYNCHRO_FIXTURE / f"sigil.events.out-{tid}.gz"
+        with open(path, "wb") as handle:
+            with gzip.GzipFile(
+                filename="", fileobj=handle, mode="wb", mtime=0
+            ) as gz:
+                gz.write(raw)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        lowered = _lowered_synchro(Path(tmp))
+        digests = {
+            "workload": WORKLOAD,
+            "scale": SCALE,
+            "chunk_records": CHUNK_RECORDS,
+            "files": {
+                path.relative_to(FIXTURES).as_posix(): _sha256(path)
+                for path in sorted(FIXTURES.rglob("*"))
+                if path.is_file() and path != DIGESTS
+            },
+            "synchro_lowered_din": _sha256(lowered),
+        }
+    DIGESTS.write_text(
+        json.dumps(digests, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"re-pinned {len(digests['files'])} fixture file(s) in {FIXTURES}")
+    return 0
+
+
+def verify(workdir: Path | None = None) -> int:
+    if not DIGESTS.is_file():
+        return _fail(f"{DIGESTS} missing — run with --regen to create fixtures")
+    pinned = json.loads(DIGESTS.read_text(encoding="utf-8"))
+
+    # 1. Committed fixture bytes match the pinned digests.
+    on_disk = {
+        path.relative_to(FIXTURES).as_posix(): _sha256(path)
+        for path in sorted(FIXTURES.rglob("*"))
+        if path.is_file() and path != DIGESTS
+    }
+    if on_disk != pinned["files"]:
+        drifted = sorted(
+            set(on_disk) ^ set(pinned["files"])
+            | {
+                name
+                for name in set(on_disk) & set(pinned["files"])
+                if on_disk[name] != pinned["files"][name]
+            }
+        )
+        return _fail(f"fixture digests drifted: {', '.join(drifted)}")
+    print(f"fixture digests: {len(on_disk)} file(s) match digests.json")
+
+    with contextlib.ExitStack() as stack:
+        if workdir is None:
+            work = Path(stack.enter_context(tempfile.TemporaryDirectory()))
+        else:
+            work = workdir
+            work.mkdir(parents=True, exist_ok=True)
+
+        # 2a. din -> rtb -> din, byte-identical both hops.
+        rtb = work / "roundtrip.rtb"
+        din = work / "roundtrip.din"
+        for argv in (
+            ("convert", str(TEXT_FIXTURE), str(rtb),
+             "--chunk-records", str(pinned["chunk_records"])),
+            ("convert", str(rtb), str(din)),
+        ):
+            if (code := _cli(*argv)) != 0:
+                return _fail(f"convert {argv[1]} exited {code}")
+        if rtb.read_bytes() != BINARY_FIXTURE.read_bytes():
+            return _fail("din -> rtb did not reproduce tiny.rtb byte-for-byte")
+        if din.read_bytes() != TEXT_FIXTURE.read_bytes():
+            return _fail("din -> rtb -> din round trip is not byte-identical")
+
+        # 2b. rtb -> din -> rtb, byte-identical.
+        din2 = work / "fromrtb.din"
+        rtb2 = work / "fromrtb.rtb"
+        for argv in (
+            ("convert", str(BINARY_FIXTURE), str(din2)),
+            ("convert", str(din2), str(rtb2),
+             "--chunk-records", str(pinned["chunk_records"])),
+        ):
+            if (code := _cli(*argv)) != 0:
+                return _fail(f"convert {argv[1]} exited {code}")
+        if din2.read_bytes() != TEXT_FIXTURE.read_bytes():
+            return _fail("rtb -> din did not reproduce tiny.din byte-for-byte")
+        if rtb2.read_bytes() != BINARY_FIXTURE.read_bytes():
+            return _fail("rtb -> din -> rtb round trip is not byte-identical")
+        print("convert round trips: byte-identical in both directions")
+
+        # 3. SynchroTrace lowering is pinned.
+        lowered = _lowered_synchro(work)
+        if _sha256(lowered) != pinned["synchro_lowered_din"]:
+            return _fail("SynchroTrace lowering drifted from the pinned digest")
+        print("synchro lowering: matches pinned digest")
+
+        # 4. The generator reproduces the fixtures, both paths.
+        gen_din = work / "gen.din"
+        gen_rtb = work / "gen.rtb"
+        for argv in (
+            ("gen", pinned["workload"], "--scale", str(pinned["scale"]),
+             "--out", str(gen_din),
+             "--chunk-records", str(pinned["chunk_records"])),
+            ("gen", pinned["workload"], "--scale", str(pinned["scale"]),
+             "--stream", "--out", str(gen_rtb),
+             "--chunk-records", str(pinned["chunk_records"])),
+        ):
+            if (code := _cli(*argv)) != 0:
+                return _fail(f"gen exited {code}")
+        if gen_din.read_bytes() != TEXT_FIXTURE.read_bytes():
+            return _fail("materialised generator no longer reproduces tiny.din")
+        if gen_rtb.read_bytes() != BINARY_FIXTURE.read_bytes():
+            return _fail("streamed generator no longer reproduces tiny.rtb")
+        print("generator: reproduces both fixtures (materialised and --stream)")
+
+    print("check_trace_conformance: all checks passed")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv == ["--regen"]:
+        return regen()
+    if len(argv) == 2 and argv[0] == "--work":
+        return verify(Path(argv[1]))
+    if argv:
+        print(
+            "usage: python -m tests.check_trace_conformance "
+            "[--regen | --work DIR]",
+            file=sys.stderr,
+        )
+        return 2
+    return verify()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
