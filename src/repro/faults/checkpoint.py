@@ -19,6 +19,7 @@ interruption during the save leaves the previous checkpoint intact.
 
 from __future__ import annotations
 
+import contextlib
 import os
 import pickle
 from collections.abc import Callable, Sequence
@@ -29,12 +30,29 @@ from ..cache.tagstore import TagStore
 from ..common.errors import CheckpointError
 from ..hierarchy.rcache import RCacheBlock, SubEntry
 from ..hierarchy.twolevel import TwoLevelHierarchy
+from ..obs.log import get_logger
 from ..system.multiprocessor import Multiprocessor, SimulationResult
 from ..trace.record import TraceCursor, TraceRecord
 from ..trace.stream import StreamCursor, TraceStream
 
+logger = get_logger("faults.checkpoint")
+
 FORMAT = "repro-checkpoint"
 VERSION = 1
+
+#: Top-level fields :func:`restore_machine` dereferences.  Validated up
+#: front so a structurally damaged checkpoint is rejected *before* any
+#: machine state is mutated — a mid-restore ``KeyError`` would leave
+#: the machine half-overwritten.
+_REQUIRED_FIELDS = (
+    "key",
+    "position",
+    "refs",
+    "next_version",
+    "memory",
+    "bus_stats",
+    "hierarchies",
+)
 
 
 # -- per-component snapshots ---------------------------------------------------
@@ -227,11 +245,20 @@ def save_checkpoint(path: str, state: dict) -> None:
 
 
 def load_checkpoint(path: str) -> dict:
-    """Read and validate a checkpoint file."""
+    """Read and validate a checkpoint file.
+
+    Any unreadable file raises :class:`CheckpointError` — never a raw
+    decode error.  A truncated or corrupt pickle raises essentially
+    anything (``UnpicklingError``, ``EOFError``, ``AttributeError``,
+    ``IndexError``, ``MemoryError`` on a torn length prefix, …), so
+    the net is deliberately wide; structural validation then rejects
+    well-formed pickles that are not complete checkpoints before any
+    restore touches machine state.
+    """
     try:
         with open(path, "rb") as handle:
             state = pickle.load(handle)
-    except (OSError, pickle.UnpicklingError, EOFError) as exc:
+    except Exception as exc:
         raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
     if not isinstance(state, dict) or state.get("format") != FORMAT:
         raise CheckpointError(f"{path} is not a repro checkpoint")
@@ -240,6 +267,13 @@ def load_checkpoint(path: str) -> dict:
             f"checkpoint version {state.get('version')} unsupported "
             f"(expected {VERSION})"
         )
+    missing = [field for field in _REQUIRED_FIELDS if field not in state]
+    if missing:
+        raise CheckpointError(
+            f"checkpoint {path} is incomplete: missing {', '.join(missing)}"
+        )
+    if not isinstance(state["hierarchies"], list):
+        raise CheckpointError(f"checkpoint {path} is incomplete: bad hierarchies")
     return state
 
 
@@ -267,7 +301,10 @@ def run_checkpointed(
 
     If *path* exists, the run resumes from it (validating *key*, a
     tuple identifying the experiment configuration, against the saved
-    one).  On successful completion the checkpoint file is deleted.
+    one).  A corrupt or truncated checkpoint file is logged, discarded
+    and the run restarts from the trace beginning; only a *valid*
+    checkpoint recorded under a different key is a hard error.  On
+    successful completion the checkpoint file is deleted.
     *on_chunk* is called with the trace position after each saved
     chunk — the test suite uses it to kill the run mid-trace.
     """
@@ -276,15 +313,35 @@ def run_checkpointed(
     position = 0
     refs_done = 0
     if os.path.exists(path):
-        state = load_checkpoint(path)
-        if key is not None and tuple(state["key"]) != tuple(key):
-            raise CheckpointError(
-                f"checkpoint {path} belongs to a different run: "
-                f"{state['key']} != {key}"
+        state = None
+        try:
+            state = load_checkpoint(path)
+        except CheckpointError as exc:
+            # A corrupt or truncated checkpoint (crashed writer, torn
+            # disk) must not kill the run it exists to protect: log,
+            # discard, restart from the trace beginning.  The machine
+            # is untouched — load_checkpoint validates structure before
+            # restore_machine mutates anything.
+            logger.warning(
+                "discarding unusable checkpoint: path=%s error=%s "
+                "action=restart-from-beginning",
+                path,
+                exc,
             )
-        position, refs_done = restore_machine(
-            machine, state, injector=injector, guard=guard
-        )
+            with contextlib.suppress(OSError):
+                os.remove(path)
+        if state is not None:
+            if key is not None and tuple(state["key"]) != tuple(key):
+                # A *valid* checkpoint for a different run is a caller
+                # error, not corruption: resuming it would silently
+                # produce the wrong experiment's numbers.
+                raise CheckpointError(
+                    f"checkpoint {path} belongs to a different run: "
+                    f"{state['key']} != {key}"
+                )
+            position, refs_done = restore_machine(
+                machine, state, injector=injector, guard=guard
+            )
     cursor: TraceCursor | StreamCursor
     if isinstance(records, TraceStream):
         cursor = StreamCursor(records, position)

@@ -353,6 +353,28 @@ RUNNER_METRIC_NAMES: tuple[str, ...] = (
     "runner.pool_rebuild",
 )
 
+#: Request-lifecycle events the simulation service counts
+#: (``repro.serve``).  Like the runner metrics these never appear in a
+#: :class:`SimulationResult`; they describe how the service treated
+#: traffic: admitted into the scheduler, coalesced onto an in-flight
+#: duplicate, answered from the disk cache, shed at the admission
+#: queue or rate limiter, expired against a client deadline, rejected
+#: in degraded (breaker-open) mode, or completed/failed outright.
+SERVE_METRIC_NAMES: tuple[str, ...] = (
+    "serve.admitted",
+    "serve.coalesced",
+    "serve.cache_hit",
+    "serve.completed",
+    "serve.failed",
+    "serve.shed",
+    "serve.rate_limited",
+    "serve.deadline_exceeded",
+    "serve.degraded",
+    "serve.breaker_open",
+    "serve.breaker_recovered",
+    "serve.drained",
+)
+
 #: The coherence messages Tables 11-13 count as "percolated to level 1"
 #: (note ``l1.coherence.update`` is excluded: the paper counts update
 #: broadcasts separately from invalidation/flush traffic).

@@ -106,7 +106,17 @@ class ResultCache:
     def load(self, parts: tuple[Any, ...]) -> Any | None:
         """The cached result for *parts*, or None.
 
-        A torn or unreadable entry is treated as a miss and removed.
+        A torn or unreadable entry is treated as a miss and removed, so
+        the caller re-executes and overwrites it.  Writers are atomic
+        (``os.replace``), but a cache directory shared by concurrent
+        runs can still surface entries damaged by crashed writers on
+        non-atomic filesystems, truncation, or plain disk corruption —
+        and a corrupt pickle raises essentially anything
+        (``UnpicklingError``, ``EOFError``, ``AttributeError``,
+        ``IndexError``, ``ImportError``, ``MemoryError`` on a bogus
+        length prefix, …).  A cache must never let any of those escape
+        as a crash, so everything except process-fatal exceptions is a
+        miss.
         """
         path = self._path(parts)
         try:
@@ -114,32 +124,39 @@ class ResultCache:
                 return pickle.load(handle)
         except FileNotFoundError:
             return None
-        except (
-            OSError,
-            pickle.UnpicklingError,
-            EOFError,
-            AttributeError,
-            ValueError,
-        ):
+        except Exception:
+            # Another process may have deleted the same corrupt entry
+            # between our read and unlink; both orders are fine.
             with contextlib.suppress(OSError):
                 path.unlink()
             return None
 
     def store(self, parts: tuple[Any, ...], result: Any) -> None:
-        """Persist *result* under *parts*, atomically."""
+        """Persist *result* under *parts*, atomically.
+
+        Best-effort under concurrency: a sibling process running
+        :meth:`clear` can sweep the schema directory (tmp file and
+        all) between our write and rename, so the write is retried
+        once into a recreated directory rather than crashing the run
+        that produced the result.
+        """
         self._prune_stale_schemas()
         path = self._path(parts)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-        try:
-            with open(tmp, "wb") as handle:
-                pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, path)
-        finally:
-            # Unconditional unlink: an exists()-then-unlink() pair races
-            # with a concurrent cleaner between the two calls.
-            with contextlib.suppress(FileNotFoundError):
-                tmp.unlink()
+        payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        for attempt in range(2):
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_name(f".{path.name}.{os.getpid()}.{attempt}.tmp")
+            try:
+                tmp.write_bytes(payload)
+                os.replace(tmp, path)
+                return
+            except FileNotFoundError:
+                continue  # directory swept mid-write; recreate and retry
+            finally:
+                # Unconditional unlink: an exists()-then-unlink() pair
+                # races with a concurrent cleaner between the two calls.
+                with contextlib.suppress(FileNotFoundError):
+                    tmp.unlink()
 
     def clear(self) -> int:
         """Delete every entry (all schema versions); returns files removed."""

@@ -125,6 +125,15 @@ class SupervisorConfig:
         resume: skip jobs the journal marks quarantined/timed out.
         chaos: seeded worker misbehaviour, for tests and chaos smokes.
         poll_interval_s: watchdog tick.
+        job_deadline_s: per-job wall-clock budgets keyed by job digest,
+            overriding ``job_timeout_s`` for those jobs — the serving
+            layer injects client deadlines here so one slow request
+            cannot hold a worker past what its client will wait for.
+        on_outcome: called with ``(job digest, terminal outcome)`` the
+            moment a job finishes, is quarantined or times out — before
+            the rest of the batch completes.  The serving layer uses it
+            to resolve coalesced request futures promptly; it runs on
+            the supervisor's thread and must not block.
     """
 
     max_attempts: int = 3
@@ -140,6 +149,24 @@ class SupervisorConfig:
     resume: bool = False
     chaos: ChaosConfig | None = None
     poll_interval_s: float = 0.05
+    job_deadline_s: dict[str, float] | None = None
+    on_outcome: Callable[[str, str], None] | None = None
+
+    def deadline_for(self, digest: str) -> float | None:
+        """The wall-clock budget for job *digest*, or None (unbounded).
+
+        A per-job deadline wins over the run-wide ``job_timeout_s``.
+        """
+        if self.job_deadline_s is not None:
+            specific = self.job_deadline_s.get(digest)
+            if specific is not None:
+                return specific
+        return self.job_timeout_s
+
+    @property
+    def any_deadline(self) -> bool:
+        """True when at least one job runs under a wall-clock budget."""
+        return self.job_timeout_s is not None or bool(self.job_deadline_s)
 
     def backoff_delay(self, digest: str, failures: int) -> float:
         """Seconds to wait before retry number *failures* of *digest*.
@@ -454,6 +481,8 @@ class Supervisor:
         self._journal_entry(
             state, outcome, len(state.attempts) + 1, result.refs_processed
         )
+        if self.config.on_outcome is not None:
+            self.config.on_outcome(state.digest, outcome)
 
     def _quarantine(
         self, report: "RunReport", state: _JobState, reason: str
@@ -499,6 +528,8 @@ class Supervisor:
                 reason,
             )
         self._journal_entry(state, outcome, len(state.attempts))
+        if self.config.on_outcome is not None:
+            self.config.on_outcome(state.digest, outcome)
 
     def _fail(
         self,
@@ -636,7 +667,7 @@ class Supervisor:
                     if self._over_rebuild_budget(report, queue):
                         return
                     continue
-                if self.config.job_timeout_s is not None and inflight:
+                if self.config.any_deadline and inflight:
                     queue, inflight, pool = self._watchdog(
                         report, queue, inflight, pool
                     )
@@ -716,20 +747,26 @@ class Supervisor:
     ]:
         """Kill the pool when any running job exceeds its deadline.
 
-        The expired job is charged a ``timeout`` attempt; other
+        Each job's budget comes from :meth:`SupervisorConfig.deadline_for`
+        — the run-wide ``job_timeout_s`` unless a per-job deadline was
+        injected (the serving layer propagates client deadlines this
+        way).  The expired job is charged a ``timeout`` attempt; other
         in-flight jobs are requeued without penalty — unlike a pool
         break, the culprit is known here.
         """
         now = perf_counter()
-        timeout = self.config.job_timeout_s
-        assert timeout is not None
         expired: list[_JobState] = []
         survivors: list[_JobState] = []
         for future, state in inflight.items():
             if state.started_at is None and future.running():
                 state.started_at = now
                 continue
-            if state.started_at is not None and now - state.started_at > timeout:
+            limit = self.config.deadline_for(state.digest)
+            if (
+                limit is not None
+                and state.started_at is not None
+                and now - state.started_at > limit
+            ):
                 expired.append(state)
             else:
                 survivors.append(state)
@@ -749,7 +786,7 @@ class Supervisor:
                     "timeout",
                     job=state.digest,
                     attempt=len(state.attempts) + 1,
-                    limit_s=timeout,
+                    limit_s=self.config.deadline_for(state.digest),
                 )
             self._fail(report, state, "timeout", None, queue)
         return queue, inflight, None

@@ -1,0 +1,65 @@
+"""Simulation-as-a-service: a fault-tolerant HTTP front end (DESIGN §15).
+
+``repro-serve`` turns the batch machinery — planner jobs, the
+supervised worker pool, the schema-hash-versioned disk cache — into a
+long-lived service: clients POST simulation configurations, the
+scheduler coalesces duplicates, answers from cache, batches true
+misses through the supervisor, and degrades to cache-only behind a
+circuit breaker when workers keep dying.
+
+Layering: :mod:`protocol` (wire format and validation),
+:mod:`admission` (per-client rate limiting), :mod:`breaker` (the
+circuit breaker), :mod:`scheduler` (coalesce → cache → batch →
+degrade), :mod:`server` (HTTP plumbing and the CLI entry point).
+"""
+
+from __future__ import annotations
+
+from .admission import RateLimiter, TokenBucket
+from .breaker import BreakerState, CircuitBreaker
+from .protocol import (
+    DeadlineExceededError,
+    DegradedError,
+    DrainingError,
+    JobFailedError,
+    QueueFullError,
+    RateLimitedError,
+    ServeRejection,
+    SimRequest,
+    error_payload,
+    parse_request,
+    result_payload,
+)
+from .scheduler import (
+    SchedulerConfig,
+    ServeScheduler,
+    reset_serve_metrics,
+    serve_metrics,
+)
+from .server import ServeApp, build_parser, main, serve_main
+
+__all__ = [
+    "BreakerState",
+    "CircuitBreaker",
+    "DeadlineExceededError",
+    "DegradedError",
+    "DrainingError",
+    "JobFailedError",
+    "QueueFullError",
+    "RateLimitedError",
+    "RateLimiter",
+    "SchedulerConfig",
+    "ServeApp",
+    "ServeRejection",
+    "ServeScheduler",
+    "SimRequest",
+    "TokenBucket",
+    "build_parser",
+    "error_payload",
+    "main",
+    "parse_request",
+    "reset_serve_metrics",
+    "result_payload",
+    "serve_main",
+    "serve_metrics",
+]

@@ -1,0 +1,107 @@
+"""Admission control: per-client token buckets for the service.
+
+The service sheds load at two points: the bounded scheduler queue
+(global backpressure — see :mod:`repro.serve.scheduler`) and the
+per-client rate limiter here (fairness — one greedy client must not
+starve the rest).  Both answer 429 with a ``Retry-After`` hint.
+
+The limiter is a classic token bucket per client key: ``burst`` tokens
+capacity, refilled at ``rate`` tokens per second, one token per
+request.  Time is injected (``clock``) so the unit tests drive it with
+a fake clock and assert exact refill behaviour instead of sleeping.
+
+Client keys are attacker-controlled strings, so the bucket table is
+bounded: past ``max_clients`` distinct keys the stalest bucket (the
+one whose owner has been quiet longest, i.e. the closest to full) is
+evicted.  Evicting a bucket can only ever *grant* a forgotten client a
+fresh burst — it never blocks a well-behaved one.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+
+from ..common.errors import ConfigurationError
+
+
+class TokenBucket:
+    """One client's budget: ``burst`` capacity, ``rate`` tokens/second."""
+
+    __slots__ = ("rate", "burst", "tokens", "updated_at")
+
+    def __init__(self, rate: float, burst: float, now: float) -> None:
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst
+        self.updated_at = now
+
+    def try_take(self, now: float) -> bool:
+        """Refill for the elapsed time, then spend one token if possible."""
+        elapsed = max(0.0, now - self.updated_at)
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        self.updated_at = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+    def seconds_until_token(self) -> float:
+        """How long (from ``updated_at``) until one token is available."""
+        deficit = 1.0 - self.tokens
+        if deficit <= 0.0:
+            return 0.0
+        return deficit / self.rate
+
+
+class RateLimiter:
+    """Per-client-key token buckets with a bounded table.
+
+    ``rate <= 0`` disables limiting entirely (every request allowed),
+    which is the server's default — the limiter is opt-in via
+    ``repro-serve --rate``.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float = 1.0,
+        max_clients: int = 1024,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate > 0 and burst < 1.0:
+            raise ConfigurationError(f"burst must be >= 1 token: {burst}")
+        if max_clients < 1:
+            raise ConfigurationError(f"max_clients must be >= 1: {max_clients}")
+        self.rate = rate
+        self.burst = burst
+        self.max_clients = max_clients
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+
+    @property
+    def enabled(self) -> bool:
+        """True when requests are actually being limited."""
+        return self.rate > 0
+
+    def allow(self, client: str) -> bool:
+        """Spend one token of *client*'s bucket; False means shed."""
+        if not self.enabled:
+            return True
+        now = self._clock()
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            if len(self._buckets) >= self.max_clients:
+                stalest = min(self._buckets, key=lambda k: self._buckets[k].updated_at)
+                del self._buckets[stalest]
+            bucket = self._buckets[client] = TokenBucket(self.rate, self.burst, now)
+        return bucket.try_take(now)
+
+    def retry_after(self, client: str) -> float:
+        """Seconds after which *client*'s next request could pass."""
+        if not self.enabled:
+            return 0.0
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            return 0.0
+        return bucket.seconds_until_token()

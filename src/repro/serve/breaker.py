@@ -1,0 +1,144 @@
+"""The service circuit breaker: cache-only mode when workers keep dying.
+
+A worker pool that breaks once is routine — the supervisor rebuilds it
+and retries (see :mod:`repro.runner.supervisor`).  A pool that breaks
+*repeatedly* means something environmental (OOM killer, a poisoned
+native extension, a full disk) and every new simulation admitted is a
+request that will burn a rebuild and fail anyway.  The breaker watches
+pool-rebuild events and, past a threshold inside a sliding window,
+**opens**: the scheduler stops admitting cache misses (clients get 503
+``degraded`` with a Retry-After) while cache hits and coalesced joins
+keep flowing — the service degrades to read-only instead of thrashing.
+
+After ``cooldown_s`` the breaker moves to **half-open** and grants
+exactly one probe batch; a clean probe (no rebuilds) closes the
+breaker, a dirty one reopens it and restarts the cooldown.  The clock
+is injected so tests drive all three states deterministically.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from collections import deque
+from collections.abc import Callable
+
+from ..common.errors import ConfigurationError
+
+
+class BreakerState(enum.Enum):
+    """Where the breaker is in its closed → open → half-open cycle."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Opens after *threshold* pool rebuilds inside *window_s* seconds.
+
+    Attributes:
+        state: the current :class:`BreakerState`.
+        opened: how many times the breaker has opened (ever).
+        recovered: how many times a probe closed it again.
+    """
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        window_s: float = 60.0,
+        cooldown_s: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if threshold < 1:
+            raise ConfigurationError(f"threshold must be >= 1: {threshold}")
+        if window_s <= 0 or cooldown_s <= 0:
+            raise ConfigurationError(
+                f"window_s and cooldown_s must be > 0: {window_s}, {cooldown_s}"
+            )
+        self.threshold = threshold
+        self.window_s = window_s
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self.state = BreakerState.CLOSED
+        self.opened = 0
+        self.recovered = 0
+        self._events: deque[float] = deque()
+        self._opened_at = 0.0
+        self._probe_granted = False
+
+    def _prune(self, now: float) -> None:
+        while self._events and now - self._events[0] > self.window_s:
+            self._events.popleft()
+
+    def _open(self, now: float) -> None:
+        self.state = BreakerState.OPEN
+        self._opened_at = now
+        self._probe_granted = False
+        self.opened += 1
+
+    def admits(self) -> bool:
+        """Non-consuming admission view: could new work eventually run?
+
+        The admission path asks this (a rejected request must not burn
+        the probe token); only the batch executor calls :meth:`allow`,
+        which actually consumes the half-open probe.
+        """
+        now = self._clock()
+        if self.state is BreakerState.CLOSED:
+            return True
+        if self.state is BreakerState.OPEN:
+            return now - self._opened_at >= self.cooldown_s
+        return not self._probe_granted
+
+    def allow(self) -> bool:
+        """May the scheduler run new (uncached) work right now?
+
+        Closed: yes.  Open: no, until ``cooldown_s`` has passed — then
+        the breaker half-opens and grants exactly one probe; further
+        calls say no until :meth:`record` settles that probe.
+        """
+        now = self._clock()
+        if self.state is BreakerState.CLOSED:
+            return True
+        if self.state is BreakerState.OPEN:
+            if now - self._opened_at < self.cooldown_s:
+                return False
+            self.state = BreakerState.HALF_OPEN
+            self._probe_granted = True
+            return True
+        # Half-open: the single probe is either in flight (granted and
+        # unsettled) or was granted and must settle before another.
+        if self._probe_granted:
+            return False
+        self._probe_granted = True
+        return True
+
+    def record(self, pool_rebuilds: int) -> None:
+        """Account one executed batch: *pool_rebuilds* it cost.
+
+        Call after every batch the scheduler actually ran.  Rebuilds
+        push the breaker toward open (immediately, from half-open); a
+        clean batch closes a half-open breaker.
+        """
+        now = self._clock()
+        if pool_rebuilds > 0:
+            self._events.extend([now] * pool_rebuilds)
+            self._prune(now)
+            if self.state is BreakerState.HALF_OPEN or (
+                self.state is BreakerState.CLOSED
+                and len(self._events) >= self.threshold
+            ):
+                self._open(now)
+            return
+        if self.state is BreakerState.HALF_OPEN:
+            self.state = BreakerState.CLOSED
+            self._events.clear()
+            self._probe_granted = False
+            self.recovered += 1
+
+    def retry_after(self) -> float:
+        """Seconds until an open breaker would grant a probe."""
+        if self.state is not BreakerState.OPEN:
+            return 0.0
+        return max(0.0, self.cooldown_s - (self._clock() - self._opened_at))

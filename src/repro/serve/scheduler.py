@@ -1,0 +1,486 @@
+"""The serving scheduler: coalesce, batch, execute, degrade.
+
+One :class:`ServeScheduler` sits between the HTTP layer and the
+supervised worker pool.  Each admitted request follows the pipeline:
+
+1. **Coalesce** — requests are identified by the same digest the
+   supervisor journals under (``key_digest(job.key())``); a request
+   whose digest is already in flight joins that entry's future instead
+   of becoming new work, so a stampede of identical configurations
+   costs one simulation.
+2. **Cache** — the in-process memo and the schema-hash-versioned disk
+   cache are probed (off the event loop) before any queueing; hits
+   return immediately and are byte-identical to computed results.
+3. **Schedule** — true misses enter a bounded queue (full ⇒ 429 with
+   ``Retry-After``); a batching loop drains it — up to ``batch_max``
+   entries per ``batch_window_s`` — and runs each batch through
+   :func:`repro.runner.run_jobs` under the fault-tolerant supervisor,
+   injecting each entry's client deadline as its per-job wall-clock
+   budget and resolving futures the moment the supervisor reports a
+   terminal outcome.
+4. **Degrade** — repeated pool rebuilds trip the circuit breaker
+   (:mod:`repro.serve.breaker`): misses are refused with 503 while
+   cache hits and coalesced joins keep serving, and a half-open probe
+   batch decides recovery.
+
+All scheduler state is confined to the event-loop thread; the
+supervisor runs in a worker thread and reports back through
+``call_soon_threadsafe``.  Delivered results are evicted from the
+in-process memo (:func:`repro.experiments.base.forget_memo`) so a
+long-lived server's memory stays bounded — the disk cache, not the
+memo, is the service's store of record.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, replace
+
+from ..experiments import base
+from ..faults.chaos import ChaosConfig
+from ..obs import MetricsRegistry, get_logger, get_tracer
+from ..runner.disk_cache import get_cache, key_digest
+from ..runner.planner import SimJob
+from ..runner.pool import RunReport, run_jobs
+from ..runner.supervisor import SupervisorConfig
+from ..system.multiprocessor import SimulationResult
+from .breaker import CircuitBreaker
+from .protocol import (
+    DeadlineExceededError,
+    DegradedError,
+    DrainingError,
+    JobFailedError,
+    QueueFullError,
+    ServeRejection,
+    SimRequest,
+)
+
+logger = get_logger("serve.scheduler")
+
+#: How a request was satisfied (the response's ``source`` field).
+SOURCE_CACHED = "cache"
+SOURCE_COALESCED = "coalesced"
+SOURCE_COMPUTED = "computed"
+
+
+# -- service-level metrics ---------------------------------------------------
+
+_metrics = MetricsRegistry()
+
+
+def serve_metrics() -> MetricsRegistry:
+    """The service's own counters (``serve.*``), for this process."""
+    return _metrics
+
+
+def reset_serve_metrics() -> None:
+    """Forget all service counters (tests use this)."""
+    global _metrics
+    _metrics = MetricsRegistry()
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Policy knobs for one :class:`ServeScheduler`.
+
+    Attributes:
+        n_workers: worker processes per executed batch.
+        queue_limit: admitted-but-unscheduled entries before shedding.
+        batch_window_s: how long the batcher waits to fill a batch
+            after its first entry arrives.
+        batch_max: entries per executed batch.
+        default_deadline_s: deadline applied to requests that do not
+            carry their own; None means unbounded.
+        retry_after_s: the ``Retry-After`` hint on shed responses.
+    """
+
+    n_workers: int = 2
+    queue_limit: int = 64
+    batch_window_s: float = 0.05
+    batch_max: int = 16
+    default_deadline_s: float | None = None
+    retry_after_s: float = 1.0
+
+
+class _Inflight:
+    """One unique configuration being computed, shared by its waiters."""
+
+    __slots__ = ("job", "digest", "future", "deadline_s", "unbounded", "waiters")
+
+    def __init__(
+        self,
+        job: SimJob,
+        digest: str,
+        future: "asyncio.Future[SimulationResult]",
+        deadline_s: float | None,
+    ) -> None:
+        self.job = job
+        self.digest = digest
+        self.future = future
+        self.deadline_s = deadline_s
+        self.unbounded = deadline_s is None
+        self.waiters = 1
+
+    def widen(self, deadline_s: float | None) -> None:
+        """Grow the job budget to cover a newly coalesced waiter.
+
+        Best-effort: once the batch holding this entry has launched,
+        the supervisor already holds the budget it was given.
+        """
+        self.waiters += 1
+        if deadline_s is None:
+            self.unbounded = True
+        elif not self.unbounded and (
+            self.deadline_s is None or deadline_s > self.deadline_s
+        ):
+            self.deadline_s = deadline_s
+
+
+def _retrieve(future: "asyncio.Future[SimulationResult]") -> None:
+    # Touch the exception so a future whose every waiter timed out
+    # does not log "exception was never retrieved" at GC time.
+    if not future.cancelled():
+        future.exception()
+
+
+class ServeScheduler:
+    """Owns coalescing, batching, execution and degradation for a server."""
+
+    def __init__(
+        self,
+        options: base.RunOptions,
+        supervisor: SupervisorConfig,
+        config: SchedulerConfig | None = None,
+        breaker: CircuitBreaker | None = None,
+        runner=run_jobs,
+    ) -> None:
+        self._options = options
+        self._supervisor = supervisor
+        self._cfg = config if config is not None else SchedulerConfig()
+        self._breaker = breaker if breaker is not None else CircuitBreaker()
+        self._runner = runner
+        self._disk = (
+            get_cache(options.cache_dir) if options.cache_dir is not None else None
+        )
+        self._inflight: dict[str, _Inflight] = {}
+        self._queue: asyncio.Queue[_Inflight] | None = None
+        self._task: asyncio.Task[None] | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._draining = False
+        self._chaos: ChaosConfig | None = supervisor.chaos
+        tracer = get_tracer()
+        self._tr_serve = (
+            tracer if tracer is not None and tracer.wants("serve") else None
+        )
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Install run options and start the batching loop."""
+        self._loop = asyncio.get_running_loop()
+        base.set_run_options(self._options)
+        self._queue = asyncio.Queue(maxsize=self._cfg.queue_limit)
+        self._task = asyncio.create_task(self._run_batches(), name="serve-batcher")
+
+    async def drain(self) -> None:
+        """Stop admitting misses, finish everything in flight, stop.
+
+        Cache hits and coalesced joins keep serving while the queue
+        empties; when the last in-flight entry settles the batching
+        loop is cancelled.  Idempotent.
+        """
+        self._draining = True
+        while self._inflight:
+            await asyncio.sleep(0.02)
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+            _metrics.inc("serve.drained")
+            if self._tr_serve is not None:
+                self._tr_serve.emit("serve", "drain")
+
+    # -- introspection (healthz / readyz) --------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def breaker(self) -> CircuitBreaker:
+        return self._breaker
+
+    def stats(self) -> dict[str, object]:
+        """A point-in-time health view for the ``/healthz`` endpoint."""
+        return {
+            "draining": self._draining,
+            "breaker": self._breaker.state.value,
+            "inflight": len(self._inflight),
+            "queued": self._queue.qsize() if self._queue is not None else 0,
+            "queue_limit": self._cfg.queue_limit,
+        }
+
+    def set_chaos(self, chaos: ChaosConfig | None) -> None:
+        """Swap the chaos config applied to future batches (drills)."""
+        self._chaos = chaos
+
+    # -- admission -------------------------------------------------------------
+
+    async def submit(self, request: SimRequest) -> tuple[str, SimulationResult]:
+        """Resolve one request to ``(source, result)`` or a rejection.
+
+        Raises a :class:`~repro.serve.protocol.ServeRejection` subclass
+        for every declined or failed request; the HTTP layer maps those
+        onto status codes.
+        """
+        if self._queue is None:
+            raise RuntimeError("scheduler not started")
+        job = request.job()
+        digest = key_digest(job.key())
+        deadline_s = (
+            request.deadline_s
+            if request.deadline_s is not None
+            else self._cfg.default_deadline_s
+        )
+
+        entry = self._inflight.get(digest)
+        if entry is not None:
+            return await self._join(entry, deadline_s)
+
+        cached = await asyncio.to_thread(self._probe_cache, job)
+        # The probe yielded the loop: an identical request may have been
+        # admitted meanwhile, and coalescing beats racing it.
+        entry = self._inflight.get(digest)
+        if entry is not None:
+            return await self._join(entry, deadline_s)
+        if cached is not None:
+            _metrics.inc("serve.cache_hit")
+            return SOURCE_CACHED, cached
+
+        if self._draining:
+            raise DrainingError("server is draining; no new work admitted")
+        if self._queue.full():
+            _metrics.inc("serve.shed")
+            if self._tr_serve is not None:
+                self._tr_serve.emit("serve", "shed", job=digest)
+            raise QueueFullError(
+                f"admission queue full ({self._cfg.queue_limit} entries)",
+                retry_after_s=self._cfg.retry_after_s,
+            )
+        if not self._breaker.admits():
+            _metrics.inc("serve.degraded")
+            if self._tr_serve is not None:
+                self._tr_serve.emit("serve", "degraded", job=digest)
+            raise DegradedError(
+                "workers unhealthy (circuit breaker open); "
+                "only cached results are being served",
+                retry_after_s=self._breaker.retry_after() or self._cfg.retry_after_s,
+            )
+
+        assert self._loop is not None
+        entry = _Inflight(job, digest, self._loop.create_future(), deadline_s)
+        entry.future.add_done_callback(_retrieve)
+        self._queue.put_nowait(entry)
+        self._inflight[digest] = entry
+        _metrics.inc("serve.admitted")
+        if self._tr_serve is not None:
+            self._tr_serve.emit(
+                "serve", "admit", job=digest, deadline_s=deadline_s
+            )
+        return SOURCE_COMPUTED, await self._await_entry(entry, deadline_s)
+
+    async def _join(
+        self, entry: _Inflight, deadline_s: float | None
+    ) -> tuple[str, SimulationResult]:
+        entry.widen(deadline_s)
+        _metrics.inc("serve.coalesced")
+        if self._tr_serve is not None:
+            self._tr_serve.emit(
+                "serve", "coalesce", job=entry.digest, waiters=entry.waiters
+            )
+        return SOURCE_COALESCED, await self._await_entry(entry, deadline_s)
+
+    async def _await_entry(
+        self, entry: _Inflight, deadline_s: float | None
+    ) -> SimulationResult:
+        # Shielded: one waiter's deadline must not cancel the shared
+        # computation other waiters (or the cache) still want.
+        try:
+            return await asyncio.wait_for(
+                asyncio.shield(entry.future), deadline_s
+            )
+        except TimeoutError:
+            _metrics.inc("serve.deadline_exceeded")
+            raise DeadlineExceededError(
+                f"no result within the {deadline_s:g}s deadline",
+                retry_after_s=self._cfg.retry_after_s,
+            ) from None
+
+    # -- cache -----------------------------------------------------------------
+
+    def _probe_cache(self, job: SimJob) -> SimulationResult | None:
+        """Memo, then disk.  Runs off the event loop (disk I/O).
+
+        Deliberately does *not* seed the memo on a disk hit: repeats
+        are cheap to re-load and the memo must stay bounded.
+        """
+        key = job.key()
+        result = base.memo_get(key)
+        if result is not None:
+            return result
+        if self._disk is not None:
+            return self._disk.load(base.disk_key(key, self._options))
+        return None
+
+    # -- the batching loop -----------------------------------------------------
+
+    async def _run_batches(self) -> None:
+        assert self._queue is not None and self._loop is not None
+        while True:
+            entry = await self._queue.get()
+            batch = [entry]
+            window_ends = self._loop.time() + self._cfg.batch_window_s
+            while len(batch) < self._cfg.batch_max:
+                remaining = window_ends - self._loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    batch.append(
+                        await asyncio.wait_for(self._queue.get(), remaining)
+                    )
+                except TimeoutError:
+                    break
+
+            if not self._breaker.allow():
+                # Opened while these entries sat queued: settle them
+                # deterministically instead of burning a doomed batch.
+                rejection = DegradedError(
+                    "workers unhealthy (circuit breaker open)",
+                    retry_after_s=self._breaker.retry_after()
+                    or self._cfg.retry_after_s,
+                )
+                for entry in batch:
+                    self._resolve_error(entry, rejection)
+                continue
+
+            opened_before = self._breaker.opened
+            recovered_before = self._breaker.recovered
+            try:
+                report = await asyncio.to_thread(self._execute_batch, batch)
+            except Exception as exc:  # the supervisor itself failed
+                logger.exception("batch execution failed")
+                self._breaker.record(1)
+                for entry in batch:
+                    self._resolve_error(
+                        entry, JobFailedError(f"batch execution failed: {exc!r}")
+                    )
+            else:
+                self._breaker.record(report.pool_rebuilds)
+                self._settle_batch(batch, report)
+            if self._breaker.opened > opened_before:
+                _metrics.inc("serve.breaker_open")
+                logger.warning(
+                    "circuit breaker OPEN after repeated pool rebuilds; "
+                    "serving cache-only for %.1fs",
+                    self._breaker.cooldown_s,
+                )
+                if self._tr_serve is not None:
+                    self._tr_serve.emit(
+                        "serve", "breaker_open", opened=self._breaker.opened
+                    )
+            if self._breaker.recovered > recovered_before:
+                _metrics.inc("serve.breaker_recovered")
+                logger.info("circuit breaker recovered (probe batch clean)")
+                if self._tr_serve is not None:
+                    self._tr_serve.emit(
+                        "serve",
+                        "breaker_close",
+                        recovered=self._breaker.recovered,
+                    )
+
+    def _execute_batch(self, batch: list[_Inflight]) -> RunReport:
+        """Run one batch under the supervisor (worker-thread side)."""
+        deadlines = {
+            entry.digest: entry.deadline_s
+            for entry in batch
+            if not entry.unbounded and entry.deadline_s is not None
+        }
+        loop = self._loop
+        assert loop is not None
+
+        def hook(digest: str, outcome: str) -> None:
+            loop.call_soon_threadsafe(self._on_outcome, digest, outcome)
+
+        config = replace(
+            self._supervisor,
+            job_deadline_s=deadlines or None,
+            on_outcome=hook,
+            chaos=self._chaos,
+        )
+        return self._runner(
+            [entry.job for entry in batch],
+            self._cfg.n_workers,
+            supervisor=config,
+        )
+
+    # -- settlement (event-loop side) ------------------------------------------
+
+    def _on_outcome(self, digest: str, outcome: str) -> None:
+        """Supervisor callback: settle *digest* as soon as it is known."""
+        entry = self._inflight.get(digest)
+        if entry is None or entry.future.done():
+            return
+        self._settle_entry(entry, outcome)
+
+    def _settle_batch(self, batch: list[_Inflight], report: RunReport) -> None:
+        """Settle anything the per-outcome hook did not already cover.
+
+        The hook only fires for supervised (pending) jobs; entries that
+        resolved from the disk cache inside ``run_jobs`` are settled
+        here, as is anything lost to a supervisor crash.
+        """
+        for entry in batch:
+            if not entry.future.done():
+                outcome = report.outcomes.get(entry.digest)
+                self._settle_entry(entry, outcome)
+
+    def _settle_entry(self, entry: _Inflight, outcome: str | None) -> None:
+        if outcome in (None, "ok", "retried"):
+            result = base.memo_get(entry.job.key())
+            if result is not None:
+                self._resolve_result(entry, result)
+                return
+            outcome = outcome or "missing"
+        if outcome == "timed_out":
+            _metrics.inc("serve.deadline_exceeded")
+            self._resolve_error(
+                entry,
+                DeadlineExceededError(
+                    "job exceeded its wall-clock budget",
+                    retry_after_s=self._cfg.retry_after_s,
+                ),
+            )
+        else:
+            self._resolve_error(
+                entry,
+                JobFailedError(f"simulation did not complete (outcome: {outcome})"),
+            )
+
+    def _resolve_result(self, entry: _Inflight, result: SimulationResult) -> None:
+        if not entry.future.done():
+            entry.future.set_result(result)
+            _metrics.inc("serve.completed")
+        self._inflight.pop(entry.digest, None)
+        # Bounded service memory: waiters hold the result object; the
+        # disk cache answers repeats.
+        base.forget_memo(entry.job.key())
+
+    def _resolve_error(self, entry: _Inflight, exc: ServeRejection) -> None:
+        if not entry.future.done():
+            entry.future.set_exception(exc)
+            if isinstance(exc, JobFailedError):
+                _metrics.inc("serve.failed")
+        self._inflight.pop(entry.digest, None)

@@ -1,0 +1,253 @@
+"""Standalone serving chaos drill: break the pool, degrade, recover.
+
+Used by CI as::
+
+    python -m tests.check_serve_chaos chaos-serve-work
+
+Boots ``repro-serve --allow-chaos`` against a fresh cache and replays
+the degradation acceptance criterion end to end:
+
+1. a warm-up request computes and caches one configuration; its served
+   payload is **bit-identical** to an in-process ``simulate()`` of the
+   same configuration;
+2. ``POST /chaosz`` arms worker-kill chaos; fresh configurations burn
+   pool rebuilds until the circuit breaker opens (visible on
+   ``/healthz`` and as ``serve.breaker_open``);
+3. while open, new configurations are refused with 503 ``degraded`` +
+   ``Retry-After``, but the cached configuration still answers 200,
+   byte-identical to before — the service degrades to read-only
+   instead of thrashing;
+4. chaos is cleared; after the cooldown the next request becomes the
+   half-open probe, succeeds, and the breaker closes
+   (``serve.breaker_recovered``).
+
+Stdlib plus the repro package itself (for the reference result); exits
+non-zero with a diagnostic on any failure.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+SCALE = 0.004
+COOLDOWN_S = 3.0
+WAIT_S = 120.0
+
+_LAUNCH = [
+    sys.executable,
+    "-c",
+    "import sys; from repro.serve.server import main; sys.exit(main())",
+]
+
+
+def _request(
+    port: int, method: str, path: str, body: dict | None = None
+) -> tuple[int, dict, dict]:
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=WAIT_S)
+    try:
+        conn.request(
+            method, path, body=json.dumps(body) if body is not None else None
+        )
+        response = conn.getresponse()
+        payload = json.loads(response.read() or b"{}")
+        return response.status, dict(response.getheaders()), payload
+    finally:
+        conn.close()
+
+
+def _body(seed: int) -> dict:
+    return {
+        "trace": "pops",
+        "scale": SCALE,
+        "l1": "4K",
+        "l2": "64K",
+        "kind": "vr",
+        "seed": seed,
+    }
+
+
+def _reference_payload(seed: int) -> dict:
+    """What a direct in-process simulate() serves for ``_body(seed)``."""
+    from repro.experiments.base import clear_caches, simulate
+    from repro.hierarchy.config import HierarchyKind
+    from repro.serve.protocol import result_payload
+
+    clear_caches()
+    result = simulate("pops", SCALE, "4K", "64K", HierarchyKind.VR, seed=seed)
+    payload = result_payload(result)
+    clear_caches()
+    return payload
+
+
+def _fail(message: str) -> int:
+    print(f"FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def _counters(port: int) -> dict:
+    _, _, metrics = _request(port, "GET", "/metricz")
+    return metrics["counters"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if len(argv) != 1:
+        print("usage: python -m tests.check_serve_chaos WORKDIR", file=sys.stderr)
+        return 2
+    work = Path(argv[0])
+    work.mkdir(parents=True, exist_ok=True)
+
+    port_file = work / "serve.port"
+    log = open(work / "serve.log", "w", encoding="utf-8")
+    proc = subprocess.Popen(
+        [
+            *_LAUNCH,
+            "--port",
+            "0",
+            "--port-file",
+            str(port_file),
+            "--cache-dir",
+            str(work / "cache"),
+            "--metrics-out",
+            str(work / "metrics.json"),
+            "--jobs",
+            "2",
+            "--retries",
+            "0",
+            "--batch-window",
+            "0",
+            "--allow-chaos",
+            "--breaker-threshold",
+            "2",
+            "--breaker-window",
+            "60",
+            "--breaker-cooldown",
+            str(COOLDOWN_S),
+        ],
+        stdout=log,
+        stderr=log,
+    )
+    try:
+        deadline = time.monotonic() + WAIT_S
+        while time.monotonic() < deadline:
+            if proc.poll() is not None:
+                return _fail(f"server exited {proc.returncode} at boot")
+            if port_file.is_file() and port_file.read_text().strip():
+                break
+            time.sleep(0.05)
+        else:
+            return _fail("server never wrote its port file")
+        port = int(port_file.read_text().strip())
+        print(f"boot: serving on port {port}")
+
+        # 1. Warm one configuration; served payload must be bit-identical
+        #    to a direct in-process simulation.
+        expected = _reference_payload(seed=0)
+        status, _, payload = _request(port, "POST", "/simulate", _body(seed=0))
+        if status != 200:
+            return _fail(f"warm-up request answered {status}: {payload}")
+        if json.dumps(payload["result"], sort_keys=True) != json.dumps(
+            expected, sort_keys=True
+        ):
+            return _fail(
+                "served result differs from direct simulate():\n"
+                f"  served: {json.dumps(payload['result'], sort_keys=True)}\n"
+                f"  direct: {json.dumps(expected, sort_keys=True)}"
+            )
+        print(f"warm-up: 200 ({payload['source']}), bit-identical to simulate()")
+
+        # 2. Arm kill chaos and burn fresh configs until the breaker opens.
+        status, _, armed = _request(
+            port,
+            "POST",
+            "/chaosz",
+            {"kill_rate": 1.0, "seed": 1, "first_attempts": 99},
+        )
+        if status != 200 or not armed.get("chaos"):
+            return _fail(f"/chaosz arm answered {status}: {armed}")
+        print("chaos: worker-kill armed via /chaosz")
+
+        opened = False
+        for seed in range(10, 20):
+            status, headers, payload = _request(
+                port, "POST", "/simulate", _body(seed=seed)
+            )
+            if status == 503 and payload.get("error") == "degraded":
+                if "Retry-After" not in headers:
+                    return _fail("degraded 503 carried no Retry-After header")
+                opened = True
+                break
+            if status not in (500, 503):
+                return _fail(
+                    f"chaos-path request answered {status}: {payload}"
+                )
+        if not opened:
+            return _fail("breaker never opened under sustained worker kills")
+        _, _, health = _request(port, "GET", "/healthz")
+        if health.get("breaker") != "open":
+            return _fail(f"/healthz reports breaker={health.get('breaker')}")
+        counters = _counters(port)
+        if counters.get("serve.breaker_open", 0) < 1:
+            return _fail(f"metrics lack serve.breaker_open: {counters}")
+        print(
+            "degrade: breaker open "
+            f"(serve.breaker_open={counters['serve.breaker_open']}, "
+            "503 degraded with Retry-After)"
+        )
+
+        # 3. Cached configuration still serves, still bit-identical.
+        status, _, payload = _request(port, "POST", "/simulate", _body(seed=0))
+        if status != 200 or payload["source"] != "cache":
+            return _fail(
+                f"cached config answered {status} "
+                f"(source={payload.get('source')}) while degraded"
+            )
+        if json.dumps(payload["result"], sort_keys=True) != json.dumps(
+            expected, sort_keys=True
+        ):
+            return _fail("cached result diverged from the reference while degraded")
+        print("degrade: cached config still 200 from cache, bit-identical")
+
+        # 4. Heal: clear chaos, wait out the cooldown, probe, recover.
+        status, _, cleared = _request(port, "POST", "/chaosz", {})
+        if status != 200 or cleared.get("chaos"):
+            return _fail(f"/chaosz clear answered {status}: {cleared}")
+        time.sleep(COOLDOWN_S + 0.5)
+        status, _, payload = _request(port, "POST", "/simulate", _body(seed=99))
+        if status != 200:
+            return _fail(f"half-open probe answered {status}: {payload}")
+        _, _, health = _request(port, "GET", "/healthz")
+        if health.get("breaker") != "closed":
+            return _fail(
+                f"breaker did not close after a clean probe: {health.get('breaker')}"
+            )
+        counters = _counters(port)
+        if counters.get("serve.breaker_recovered", 0) < 1:
+            return _fail(f"metrics lack serve.breaker_recovered: {counters}")
+        print(
+            "recover: probe 200, breaker closed "
+            f"(serve.breaker_recovered={counters['serve.breaker_recovered']})"
+        )
+
+        proc.send_signal(signal.SIGTERM)
+        code = proc.wait(timeout=WAIT_S)
+        if code != 0:
+            return _fail(f"server exited {code} after the drill, wanted 0")
+        print("shutdown: clean exit 0")
+        print("check_serve_chaos: all checks passed")
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+        log.close()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

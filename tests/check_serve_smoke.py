@@ -1,0 +1,306 @@
+"""Standalone serving smoke: boot repro-serve and exercise its contract.
+
+Used by CI as::
+
+    python -m tests.check_serve_smoke serve-work
+
+Drives a real ``repro-serve`` process over real sockets and checks the
+service-level acceptance criteria:
+
+1. concurrent identical requests all answer 200 with byte-identical
+   result payloads, and the metrics prove they coalesced onto one
+   computation;
+2. a server with a one-entry admission queue sheds overload with 429
+   and a ``Retry-After`` hint while the admitted work still completes;
+3. SIGTERM mid-flight drains gracefully — the in-flight request is
+   answered, the journal and metrics snapshot are flushed, and the
+   process exits 0.
+
+Stdlib only; exits non-zero with a diagnostic on any failure.  Server
+logs land in the work directory so CI can upload them on failure.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+#: Big enough that a simulation takes a second or two — concurrency
+#: and mid-flight shutdown need something to overlap with.
+SCALE = 0.02
+WAIT_S = 120.0
+
+_LAUNCH = [
+    sys.executable,
+    "-c",
+    "import sys; from repro.serve.server import main; sys.exit(main())",
+]
+
+
+def _start_server(work: Path, name: str, extra: list[str]) -> tuple:
+    port_file = work / f"{name}.port"
+    log = open(work / f"{name}.log", "w", encoding="utf-8")
+    proc = subprocess.Popen(
+        [
+            *_LAUNCH,
+            "--port",
+            "0",
+            "--port-file",
+            str(port_file),
+            "--cache-dir",
+            str(work / f"{name}-cache"),
+            "--metrics-out",
+            str(work / f"{name}-metrics.json"),
+            *extra,
+        ],
+        stdout=log,
+        stderr=log,
+    )
+    deadline = time.monotonic() + WAIT_S
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise RuntimeError(f"server {name} exited {proc.returncode} at boot")
+        if port_file.is_file() and port_file.read_text().strip():
+            return proc, int(port_file.read_text().strip())
+        time.sleep(0.05)
+    proc.kill()
+    raise RuntimeError(f"server {name} never wrote its port file")
+
+
+def _request(
+    port: int, method: str, path: str, body: dict | None = None, timeout=WAIT_S
+) -> tuple[int, dict, dict]:
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        conn.request(
+            method, path, body=json.dumps(body) if body is not None else None
+        )
+        response = conn.getresponse()
+        payload = json.loads(response.read() or b"{}")
+        return response.status, dict(response.getheaders()), payload
+    finally:
+        conn.close()
+
+
+def _simulate_body(seed: int = 0) -> dict:
+    return {
+        "trace": "pops",
+        "scale": SCALE,
+        "l1": "4K",
+        "l2": "64K",
+        "kind": "vr",
+        "seed": seed,
+    }
+
+
+def _fail(message: str) -> int:
+    print(f"FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def _check_coalescing(port: int) -> int:
+    n_clients = 4
+    results: list[tuple[int, dict] | Exception] = [None] * n_clients  # type: ignore
+
+    def client(index: int) -> None:
+        try:
+            status, _, payload = _request(port, "POST", "/simulate", _simulate_body())
+            results[index] = (status, payload)
+        except Exception as exc:  # surfaced below
+            results[index] = exc
+
+    threads = [
+        threading.Thread(target=client, args=(i,)) for i in range(n_clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(WAIT_S)
+
+    failures = [r for r in results if isinstance(r, Exception) or r is None]
+    if failures:
+        return _fail(f"concurrent duplicate requests errored: {failures}")
+    statuses = sorted(status for status, _ in results)
+    if statuses != [200] * n_clients:
+        return _fail(f"concurrent duplicates answered {statuses}, wanted all 200")
+    rendered = {
+        json.dumps(payload["result"], sort_keys=True) for _, payload in results
+    }
+    if len(rendered) != 1:
+        return _fail("concurrent duplicates returned differing result payloads")
+    sources = sorted(payload["source"] for _, payload in results)
+    print(f"coalescing: {n_clients} duplicates all 200, sources={sources}")
+
+    status, _, metrics = _request(port, "GET", "/metricz")
+    if status != 200:
+        return _fail(f"/metricz answered {status}")
+    coalesced = metrics["counters"].get("serve.coalesced", 0)
+    if coalesced < 1:
+        return _fail(
+            f"metrics show serve.coalesced={coalesced}; duplicates did not share"
+        )
+    print(f"coalescing: serve.coalesced={coalesced} on /metricz")
+    return 0
+
+
+def _check_drain(work: Path, proc: subprocess.Popen, port: int) -> int:
+    """SIGTERM while a request is in flight: answered, flushed, exit 0."""
+    inflight: dict = {}
+
+    def client() -> None:
+        try:
+            status, _, payload = _request(
+                port, "POST", "/simulate", _simulate_body(seed=77)
+            )
+            inflight["status"] = status
+            inflight["payload"] = payload
+        except Exception as exc:
+            inflight["error"] = exc
+
+    thread = threading.Thread(target=client)
+    thread.start()
+    time.sleep(0.4)  # let the request get admitted
+    proc.send_signal(signal.SIGTERM)
+    thread.join(WAIT_S)
+    try:
+        code = proc.wait(timeout=WAIT_S)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        return _fail("server did not exit after SIGTERM")
+    if code != 0:
+        return _fail(f"drained server exited {code}, wanted 0")
+    if "error" in inflight:
+        return _fail(f"in-flight request died during drain: {inflight['error']}")
+    if inflight.get("status") != 200:
+        return _fail(f"in-flight request answered {inflight.get('status')} mid-drain")
+    print("drain: SIGTERM mid-flight — request answered 200, exit 0")
+
+    journal = work / "smoke-cache" / "serve-journal.jsonl"
+    if not journal.is_file() or not journal.read_text().strip():
+        return _fail(f"no journal flushed at {journal}")
+    metrics_file = work / "smoke-metrics.json"
+    if not metrics_file.is_file():
+        return _fail(f"no metrics snapshot flushed at {metrics_file}")
+    snapshot = json.loads(metrics_file.read_text())
+    if snapshot["counters"].get("serve.drained", 0) < 1:
+        return _fail(f"flushed metrics lack serve.drained: {snapshot['counters']}")
+    print(
+        f"drain: journal ({len(journal.read_text().splitlines())} lines) "
+        "and metrics snapshot flushed"
+    )
+    return 0
+
+
+def _check_queue_shedding(work: Path) -> int:
+    """A one-slot queue must shed the overflow with 429 + Retry-After."""
+    proc, port = _start_server(
+        work,
+        "shed",
+        [
+            "--jobs",
+            "1",
+            "--queue-limit",
+            "1",
+            "--batch-max",
+            "1",
+            "--batch-window",
+            "0",
+        ],
+    )
+    try:
+        statuses: dict[int, tuple[int, dict, dict]] = {}
+
+        def client(index: int) -> None:
+            try:
+                statuses[index] = _request(
+                    port, "POST", "/simulate", _simulate_body(seed=index)
+                )
+            except Exception as exc:
+                statuses[index] = (-1, {}, {"error": str(exc)})
+
+        # One executing, one queued, the rest must shed.
+        threads = []
+        for index in range(6):
+            thread = threading.Thread(target=client, args=(index,))
+            thread.start()
+            threads.append(thread)
+            time.sleep(0.25 if index == 0 else 0.05)
+        for thread in threads:
+            thread.join(WAIT_S)
+
+        codes = sorted(status for status, _, _ in statuses.values())
+        shed = [
+            (status, headers)
+            for status, headers, _ in statuses.values()
+            if status == 429
+        ]
+        completed = [status for status, _, _ in statuses.values() if status == 200]
+        if not shed:
+            return _fail(f"one-slot queue never shed: statuses={codes}")
+        if not completed:
+            return _fail(f"every request shed, none completed: statuses={codes}")
+        for status, headers in shed:
+            if "Retry-After" not in headers:
+                return _fail("429 response carried no Retry-After header")
+        print(
+            f"shedding: statuses={codes} "
+            f"({len(shed)} shed with Retry-After, {len(completed)} completed)"
+        )
+
+        status, _, metrics = _request(port, "GET", "/metricz")
+        if metrics["counters"].get("serve.shed", 0) < 1:
+            return _fail(f"metrics lack serve.shed: {metrics['counters']}")
+
+        proc.send_signal(signal.SIGTERM)
+        code = proc.wait(timeout=WAIT_S)
+        if code != 0:
+            return _fail(f"shedding server exited {code}, wanted 0")
+        print("shedding: clean exit 0")
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if len(argv) != 1:
+        print("usage: python -m tests.check_serve_smoke WORKDIR", file=sys.stderr)
+        return 2
+    work = Path(argv[0])
+    work.mkdir(parents=True, exist_ok=True)
+    os.environ.setdefault("PYTHONPATH", "src")
+
+    proc, port = _start_server(
+        work, "smoke", ["--jobs", "2", "--batch-window", "0.1"]
+    )
+    try:
+        status, _, health = _request(port, "GET", "/healthz")
+        if status != 200 or health.get("status") != "ok":
+            return _fail(f"/healthz answered {status} {health}")
+        print(f"boot: /healthz ok on port {port}")
+        if _check_coalescing(port):
+            return 1
+        if _check_drain(work, proc, port):
+            return 1
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+    if _check_queue_shedding(work):
+        return 1
+    print("check_serve_smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,5 +1,6 @@
 """Tests for fault injection, the invariant guard, and checkpointing."""
 
+import logging
 import os
 import pickle
 
@@ -332,10 +333,125 @@ class TestCheckpoint:
 
     def test_save_is_atomic(self, tmp_path):
         path = str(tmp_path / "atomic.ckpt")
-        save_checkpoint(path, {"format": "repro-checkpoint", "version": 1})
+        save_checkpoint(path, self._minimal_state())
         assert load_checkpoint(path)["version"] == 1
         leftovers = [p for p in os.listdir(tmp_path) if p.endswith(".tmp")]
         assert not leftovers
+
+    @staticmethod
+    def _minimal_state():
+        """The smallest dict load_checkpoint accepts as structurally whole."""
+        return {
+            "format": "repro-checkpoint",
+            "version": 1,
+            "key": None,
+            "position": 0,
+            "refs": 0,
+            "next_version": 1,
+            "memory": {},
+            "bus_stats": {},
+            "hierarchies": [],
+        }
+
+    def test_incomplete_checkpoint_rejected(self, tmp_path):
+        """A well-formed pickle missing restore fields must be refused
+        before restore_machine mutates anything."""
+        path = tmp_path / "partial.ckpt"
+        state = self._minimal_state()
+        del state["memory"], state["hierarchies"]
+        path.write_bytes(pickle.dumps(state))
+        with pytest.raises(CheckpointError, match="missing.*memory"):
+            load_checkpoint(str(path))
+
+    @pytest.fixture
+    def _propagating_repro_logs(self):
+        # CLI tests run configure_logging(), which stops the "repro"
+        # tree from propagating to the root logger — where caplog
+        # listens.  Restore propagation for log-asserting tests so
+        # they pass regardless of suite ordering.
+        root = logging.getLogger("repro")
+        saved = root.propagate
+        root.propagate = True
+        yield
+        root.propagate = saved
+
+    @pytest.mark.usefixtures("_propagating_repro_logs")
+    def test_corrupt_checkpoint_discarded_and_restarted(
+        self, tiny_workload, tmp_path, caplog
+    ):
+        """Garbage at the checkpoint path must not kill the run it
+        exists to protect: warn, discard, restart from the beginning —
+        bit-identical to a run that never had a checkpoint."""
+        records = tiny_workload.records()
+        key = ("ckpt-corrupt",)
+
+        machine, injector, guard = self._build(tiny_workload)
+        clean = run_checkpointed(
+            machine, records, str(tmp_path / "clean.ckpt"), key=key,
+            chunk=1000, injector=injector, guard=guard,
+        )
+        expected = self._fingerprint(machine, injector)
+
+        path = str(tmp_path / "corrupt.ckpt")
+        with open(path, "wb") as handle:
+            handle.write(b"\x80\x05 definitely not a checkpoint")
+        machine2, injector2, guard2 = self._build(tiny_workload)
+        with caplog.at_level(logging.WARNING, logger="repro.faults.checkpoint"):
+            resumed = run_checkpointed(
+                machine2, records, path, key=key, chunk=1000,
+                injector=injector2, guard=guard2,
+            )
+        assert resumed.refs_processed == clean.refs_processed
+        assert self._fingerprint(machine2, injector2) == expected
+        assert not os.path.exists(path)  # discarded, then deleted on completion
+        assert any(
+            "discarding unusable checkpoint" in record.message
+            for record in caplog.records
+        )
+
+    @pytest.mark.usefixtures("_propagating_repro_logs")
+    def test_truncated_checkpoint_discarded(self, tiny_workload, tmp_path, caplog):
+        """A torn write (truncated pickle) is corruption, not a fatal
+        error: the run restarts from the trace beginning."""
+        records = tiny_workload.records()
+        key = ("ckpt-trunc",)
+        path = str(tmp_path / "trunc.ckpt")
+
+        machine, injector, guard = self._build(tiny_workload)
+        clean = run_checkpointed(
+            machine, records, str(tmp_path / "clean.ckpt"), key=key,
+            chunk=1000, injector=injector, guard=guard,
+        )
+        expected = self._fingerprint(machine, injector)
+
+        class Killed(Exception):
+            pass
+
+        def kill_immediately(position):
+            raise Killed
+
+        machine2, injector2, guard2 = self._build(tiny_workload)
+        with pytest.raises(Killed):
+            run_checkpointed(
+                machine2, records, path, key=key, chunk=1000,
+                injector=injector2, guard=guard2, on_chunk=kill_immediately,
+            )
+        data = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(data[: len(data) // 3])
+
+        machine3, injector3, guard3 = self._build(tiny_workload)
+        with caplog.at_level(logging.WARNING, logger="repro.faults.checkpoint"):
+            resumed = run_checkpointed(
+                machine3, records, path, key=key, chunk=1000,
+                injector=injector3, guard=guard3,
+            )
+        assert resumed.refs_processed == clean.refs_processed
+        assert self._fingerprint(machine3, injector3) == expected
+        assert any(
+            "restart-from-beginning" in record.message
+            for record in caplog.records
+        )
 
 
 class TestCli:

@@ -17,6 +17,7 @@ whole module takes seconds.
 from __future__ import annotations
 
 import json
+from concurrent.futures import ProcessPoolExecutor
 
 import pytest
 
@@ -110,6 +111,48 @@ class TestPool:
 # -- persistent cache ----------------------------------------------------------
 
 
+def _cache_hammer(root, worker_id, rounds):
+    """Store/load loop over a small shared key space (child process).
+
+    Returns the number of loads that produced a value; every value a
+    load does produce must be structurally whole — a torn read here
+    means the cache leaked a partial entry across processes.
+    """
+    cache = ResultCache(root)
+    hits = 0
+    for i in range(rounds):
+        key = ("stress", i % 8)
+        cache.store(key, {"worker": worker_id, "i": i, "blob": b"x" * 256})
+        value = cache.load(key)
+        if value is not None:
+            if value["blob"] != b"x" * 256:
+                raise AssertionError(f"torn read: {value!r}")
+            hits += 1
+    return hits
+
+
+def _cache_saboteur(root, rounds):
+    """Clobber final entry paths with garbage, in place (child process).
+
+    Non-atomic on purpose: this simulates crashed writers and disk
+    corruption.  Every subsequent load must treat the damage as a miss
+    (and delete it), never crash.
+    """
+    cache = ResultCache(root)
+    damaged = 0
+    for i in range(rounds):
+        key = ("stress", i % 8)
+        cache.schema_dir.mkdir(parents=True, exist_ok=True)
+        try:
+            with open(cache._path(key), "wb") as handle:
+                handle.write(b"\x80\x05 torn " + bytes([i % 251]) * (i % 29))
+            damaged += 1
+        except OSError:
+            pass
+        cache.load(key)
+    return damaged
+
+
 class TestDiskCache:
     def test_warm_cache_executes_nothing(self, tmp_path):
         set_run_options(RunOptions(cache_dir=str(tmp_path)))
@@ -183,6 +226,37 @@ class TestDiskCache:
     def test_schema_hash_is_stable(self):
         assert schema_hash() == schema_hash()
         assert len(schema_hash()) == 16
+
+    def test_concurrent_processes_with_sabotage(self, tmp_path):
+        """Several processes hammering one cache root while another
+        deliberately corrupts entries in place: no load may ever raise
+        or return a torn value, and the cache must stay usable after.
+
+        This is the multi-process guarantee the serving layer leans on
+        — many ``repro-serve`` workers (and ad-hoc CLI runs) share one
+        cache directory.
+        """
+        root = str(tmp_path / "shared")
+        rounds = 150
+        with ProcessPoolExecutor(max_workers=5) as pool:
+            futures = [
+                pool.submit(_cache_hammer, root, worker_id, rounds)
+                for worker_id in range(4)
+            ]
+            futures.append(pool.submit(_cache_saboteur, root, rounds))
+            outcomes = [future.result(timeout=120) for future in futures]
+        assert all(count > 0 for count in outcomes)
+
+        # Whatever the dust settled to, every entry is valid-or-miss,
+        # and corrupt leftovers are deleted on first touch.
+        cache = ResultCache(root)
+        for slot in range(8):
+            value = cache.load(("stress", slot))
+            assert value is None or value["blob"] == b"x" * 256
+        leftovers = list(cache.schema_dir.glob(".*.tmp"))
+        assert not leftovers
+        cache.store(("stress", 0), {"blob": b"x" * 256, "fresh": True})
+        assert cache.load(("stress", 0))["fresh"]
 
 
 # -- trace cache bound ---------------------------------------------------------

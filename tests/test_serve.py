@@ -1,0 +1,632 @@
+"""The simulation service: protocol, admission, breaker, scheduler, HTTP.
+
+The load-bearing guarantees:
+
+* request validation is complete and eager — nothing malformed reaches
+  the scheduler, and served payloads are byte-identical to what a
+  direct in-process ``simulate()`` call produces;
+* identical concurrent requests coalesce onto one computation;
+* the admission queue is bounded (full ⇒ shed) and the rate limiter
+  and breaker reject with machine-readable reasons and Retry-After;
+* the breaker walks closed → open → half-open → closed exactly as the
+  fake-clock drives it, and an open breaker still serves cache hits;
+* draining finishes in-flight work and then refuses new misses.
+
+Scheduler tests inject a fake runner so no worker pools are spawned;
+one end-to-end test runs the real HTTP app over a real socket at a
+tiny scale.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import pickle
+import threading
+
+import pytest
+
+from repro.common.errors import ConfigurationError, RequestError
+from repro.experiments import base
+from repro.experiments.base import RunOptions, clear_caches, set_run_options
+from repro.hierarchy.config import HierarchyKind
+from repro.runner.disk_cache import key_digest
+from repro.runner.pool import RunReport
+from repro.runner.supervisor import SupervisorConfig
+from repro.serve import (
+    BreakerState,
+    CircuitBreaker,
+    DeadlineExceededError,
+    DegradedError,
+    DrainingError,
+    JobFailedError,
+    QueueFullError,
+    RateLimiter,
+    SchedulerConfig,
+    ServeApp,
+    ServeScheduler,
+    TokenBucket,
+    parse_request,
+    reset_serve_metrics,
+    result_payload,
+    serve_metrics,
+)
+
+SCALE = 0.002
+
+
+@pytest.fixture(autouse=True)
+def _fresh_state():
+    clear_caches()
+    reset_serve_metrics()
+    yield
+    set_run_options(RunOptions())
+    clear_caches()
+    reset_serve_metrics()
+
+
+def _request(**fields):
+    body = {"trace": "pops", "scale": SCALE, "l1": "4K", "l2": "64K", "kind": "vr"}
+    body.update(fields)
+    return parse_request(json.dumps(body).encode())
+
+
+def _counters():
+    return serve_metrics().snapshot()["counters"]
+
+
+# -- protocol ----------------------------------------------------------------
+
+
+class TestProtocol:
+    def test_parse_round_trip(self):
+        request = _request(seed=3, split_l1=True, deadline_s=2.5, client="ci")
+        job = request.job()
+        assert job.trace == "pops"
+        assert job.kind is HierarchyKind.VR
+        assert job.seed == 3
+        assert job.split_l1
+        assert request.deadline_s == 2.5
+        assert request.client == "ci"
+
+    def test_defaults_fill_in(self):
+        request = parse_request(b"{}")
+        job = request.job()
+        assert job.trace == "pops"
+        assert job.l1 == "4K" and job.l2 == "64K"
+        assert request.deadline_s is None
+        assert request.client == "anon"
+
+    def test_config_overrides_are_sorted_tuples(self):
+        request = _request(
+            config_overrides={"l2_associativity": 4, "l1_associativity": 2},
+            l1="8K",
+            l2="128K",
+        )
+        assert request.job().config_overrides == (
+            ("l1_associativity", 2),
+            ("l2_associativity", 4),
+        )
+
+    @pytest.mark.parametrize(
+        "body",
+        [
+            b"not json",
+            b"[1, 2]",
+            b'{"bogus_field": 1}',
+            b'{"trace": "nonexistent"}',
+            b'{"trace": "file:/etc/passwd"}',
+            b'{"scale": 0}',
+            b'{"scale": 100}',
+            b'{"kind": "magic"}',
+            b'{"l1": "3K"}',
+            b'{"block_size": "yes"}',
+            b'{"deadline_s": -1}',
+            b'{"config_overrides": {"l1_assoc": [1]}}',
+            b'{"config_overrides": {"not_a_knob": 1}}',
+            b'{"split_l1": "true"}',
+        ],
+    )
+    def test_bad_requests_rejected(self, body):
+        with pytest.raises(RequestError):
+            parse_request(body)
+
+    def test_result_payload_is_deterministic(self):
+        result = base.simulate("pops", SCALE, "4K", "64K", HierarchyKind.VR)
+        payload = result_payload(result)
+        copied = pickle.loads(pickle.dumps(result))
+        assert json.dumps(payload, sort_keys=True) == json.dumps(
+            result_payload(copied), sort_keys=True
+        )
+        assert payload["refs_processed"] == result.refs_processed
+        assert "timers" not in payload  # wall-clock never served
+
+
+# -- admission ---------------------------------------------------------------
+
+
+class TestRateLimiter:
+    def test_bucket_spends_and_refills(self):
+        clock = [0.0]
+        bucket = TokenBucket(rate=2.0, burst=2.0, now=0.0)
+        assert bucket.try_take(clock[0])
+        assert bucket.try_take(clock[0])
+        assert not bucket.try_take(clock[0])
+        assert bucket.seconds_until_token() == pytest.approx(0.5)
+        assert bucket.try_take(0.5)  # refilled one token after 0.5s
+        assert not bucket.try_take(0.5)
+
+    def test_limiter_is_per_client(self):
+        clock = [0.0]
+        limiter = RateLimiter(rate=1.0, burst=1.0, clock=lambda: clock[0])
+        assert limiter.allow("a")
+        assert not limiter.allow("a")
+        assert limiter.allow("b")  # separate budget
+        assert limiter.retry_after("a") == pytest.approx(1.0)
+        clock[0] = 1.0
+        assert limiter.allow("a")
+
+    def test_disabled_limiter_allows_everything(self):
+        limiter = RateLimiter(rate=0.0)
+        assert not limiter.enabled
+        assert all(limiter.allow("x") for _ in range(100))
+        assert limiter.retry_after("x") == 0.0
+
+    def test_client_table_is_bounded(self):
+        clock = [0.0]
+        limiter = RateLimiter(
+            rate=1.0, burst=1.0, max_clients=4, clock=lambda: clock[0]
+        )
+        for i in range(10):
+            clock[0] += 0.01
+            limiter.allow(f"client-{i}")
+        assert len(limiter._buckets) <= 4
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RateLimiter(rate=1.0, burst=0.5)
+        with pytest.raises(ConfigurationError):
+            RateLimiter(rate=1.0, max_clients=0)
+
+
+# -- the circuit breaker -----------------------------------------------------
+
+
+class TestCircuitBreaker:
+    def _breaker(self, clock, **kwargs):
+        defaults = dict(threshold=3, window_s=10.0, cooldown_s=5.0)
+        defaults.update(kwargs)
+        return CircuitBreaker(clock=lambda: clock[0], **defaults)
+
+    def test_opens_at_threshold_inside_window(self):
+        clock = [0.0]
+        breaker = self._breaker(clock)
+        breaker.record(2)
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record(1)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.opened == 1
+        assert not breaker.admits()
+        assert not breaker.allow()
+
+    def test_window_slides(self):
+        clock = [0.0]
+        breaker = self._breaker(clock)
+        breaker.record(2)
+        clock[0] = 11.0  # both events age out of the window
+        breaker.record(1)
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_half_open_grants_exactly_one_probe(self):
+        clock = [0.0]
+        breaker = self._breaker(clock)
+        breaker.record(3)
+        assert breaker.retry_after() == pytest.approx(5.0)
+        clock[0] = 5.1
+        assert breaker.admits()  # cooldown elapsed: probe-capable
+        assert breaker.allow()  # the probe token
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert not breaker.allow()  # a second batch must wait
+        assert not breaker.admits()
+
+    def test_clean_probe_closes(self):
+        clock = [0.0]
+        breaker = self._breaker(clock)
+        breaker.record(3)
+        clock[0] = 6.0
+        assert breaker.allow()
+        breaker.record(0)
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.recovered == 1
+        assert breaker.allow()
+
+    def test_dirty_probe_reopens(self):
+        clock = [0.0]
+        breaker = self._breaker(clock)
+        breaker.record(3)
+        clock[0] = 6.0
+        assert breaker.allow()
+        breaker.record(1)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.opened == 2
+        clock[0] = 10.0  # cooldown restarts from the reopen
+        assert not breaker.admits()
+        clock[0] = 11.1
+        assert breaker.admits()
+
+    def test_admits_never_consumes_the_probe(self):
+        clock = [0.0]
+        breaker = self._breaker(clock)
+        breaker.record(3)
+        clock[0] = 6.0
+        for _ in range(5):
+            assert breaker.admits()
+        assert breaker.state is BreakerState.OPEN  # unchanged by admits()
+        assert breaker.allow()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(threshold=0)
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(window_s=0)
+
+
+# -- the scheduler (fake runner: no worker pools) ----------------------------
+
+
+def _ok_runner(result):
+    """A runner that succeeds instantly, seeding the memo like the pool."""
+
+    def runner(jobs, n_workers, supervisor=None):
+        report = RunReport(total_jobs=len(jobs), executed=len(jobs))
+        for job in jobs:
+            base.seed_memo(job.key(), result)
+            digest = key_digest(job.key())
+            report.outcomes[digest] = "ok"
+            if supervisor is not None and supervisor.on_outcome is not None:
+                supervisor.on_outcome(digest, "ok")
+        return report
+
+    return runner
+
+
+def _scheduler(runner, **cfg):
+    defaults = dict(n_workers=1, batch_window_s=0.01, batch_max=4)
+    defaults.update(cfg)
+    return ServeScheduler(
+        RunOptions(),
+        SupervisorConfig(),
+        SchedulerConfig(**defaults),
+        runner=runner,
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_result():
+    result = base.simulate("pops", SCALE, "4K", "64K", HierarchyKind.VR)
+    clear_caches()
+    return result
+
+
+class TestScheduler:
+    def test_identical_requests_coalesce(self, tiny_result):
+        async def main():
+            scheduler = _scheduler(_ok_runner(tiny_result))
+            await scheduler.start()
+            results = await asyncio.gather(
+                *(scheduler.submit(_request()) for _ in range(5))
+            )
+            await scheduler.drain()
+            return results
+
+        results = asyncio.run(main())
+        sources = sorted(source for source, _ in results)
+        assert sources == ["coalesced"] * 4 + ["computed"]
+        assert all(result is tiny_result for _, result in results)
+        counters = _counters()
+        assert counters["serve.admitted"] == 1
+        assert counters["serve.coalesced"] == 4
+        assert counters["serve.completed"] == 1
+        assert counters["serve.drained"] == 1
+
+    def test_memo_stays_bounded_after_delivery(self, tiny_result):
+        async def main():
+            scheduler = _scheduler(_ok_runner(tiny_result))
+            await scheduler.start()
+            await scheduler.submit(_request())
+            await scheduler.drain()
+
+        asyncio.run(main())
+        # The delivered result was evicted: a long-lived server's memo
+        # cannot grow with its request history.
+        assert base.memo_get(_request().job().key()) is None
+
+    def test_cache_hit_short_circuits(self, tiny_result):
+        async def main():
+            scheduler = _scheduler(_ok_runner(tiny_result))
+            await scheduler.start()
+            base.seed_memo(_request().job().key(), tiny_result)
+            source, result = await scheduler.submit(_request())
+            await scheduler.drain()
+            return source, result
+
+        source, result = asyncio.run(main())
+        assert source == "cache"
+        assert result is tiny_result
+        assert "serve.admitted" not in _counters()
+
+    def test_full_queue_sheds_with_retry_after(self, tiny_result):
+        release = threading.Event()
+        started = threading.Event()
+
+        def runner(jobs, n_workers, supervisor=None):
+            started.set()
+            release.wait(10)
+            return _ok_runner(tiny_result)(jobs, n_workers, supervisor)
+
+        async def main():
+            scheduler = _scheduler(
+                runner, queue_limit=1, batch_max=1, batch_window_s=0.0
+            )
+            await scheduler.start()
+            first = asyncio.ensure_future(scheduler.submit(_request(seed=1)))
+            await asyncio.to_thread(started.wait, 5)
+            second = asyncio.ensure_future(scheduler.submit(_request(seed=2)))
+            while scheduler.stats()["queued"] < 1:
+                await asyncio.sleep(0.005)
+            with pytest.raises(QueueFullError) as excinfo:
+                await scheduler.submit(_request(seed=3))
+            release.set()
+            results = await asyncio.gather(first, second)
+            await scheduler.drain()
+            return excinfo.value, results
+
+        rejection, results = asyncio.run(main())
+        assert rejection.status == 429
+        assert rejection.retry_after_s is not None
+        assert [source for source, _ in results] == ["computed", "computed"]
+        assert _counters()["serve.shed"] == 1
+
+    def test_client_deadline_maps_to_504(self, tiny_result):
+        release = threading.Event()
+
+        def runner(jobs, n_workers, supervisor=None):
+            release.wait(10)
+            return _ok_runner(tiny_result)(jobs, n_workers, supervisor)
+
+        async def main():
+            scheduler = _scheduler(runner)
+            await scheduler.start()
+            with pytest.raises(DeadlineExceededError):
+                await scheduler.submit(_request(deadline_s=0.05))
+            release.set()
+            await scheduler.drain()
+
+        asyncio.run(main())
+        assert _counters()["serve.deadline_exceeded"] == 1
+
+    def test_deadlines_reach_the_supervisor_config(self, tiny_result):
+        seen = {}
+
+        def runner(jobs, n_workers, supervisor=None):
+            seen["deadlines"] = supervisor.job_deadline_s
+            return _ok_runner(tiny_result)(jobs, n_workers, supervisor)
+
+        async def main():
+            scheduler = _scheduler(runner, batch_window_s=0.0)
+            await scheduler.start()
+            request = _request(deadline_s=7.5)
+            await scheduler.submit(request)
+            await scheduler.drain()
+            return key_digest(request.job().key())
+
+        digest = asyncio.run(main())
+        assert seen["deadlines"] == {digest: 7.5}
+
+    def test_supervisor_timeout_fails_the_request(self, tiny_result):
+        def runner(jobs, n_workers, supervisor=None):
+            report = RunReport(total_jobs=len(jobs))
+            for job in jobs:
+                report.outcomes[key_digest(job.key())] = "timed_out"
+            return report
+
+        async def main():
+            scheduler = _scheduler(runner)
+            await scheduler.start()
+            with pytest.raises(DeadlineExceededError):
+                await scheduler.submit(_request())
+            await scheduler.drain()
+
+        asyncio.run(main())
+
+    def test_quarantined_job_fails_the_request(self, tiny_result):
+        def runner(jobs, n_workers, supervisor=None):
+            report = RunReport(total_jobs=len(jobs), quarantined=len(jobs))
+            for job in jobs:
+                report.outcomes[key_digest(job.key())] = "quarantined"
+            return report
+
+        async def main():
+            scheduler = _scheduler(runner)
+            await scheduler.start()
+            with pytest.raises(JobFailedError):
+                await scheduler.submit(_request())
+            await scheduler.drain()
+
+        asyncio.run(main())
+        assert _counters()["serve.failed"] == 1
+
+    def test_breaker_opens_degrades_and_recovers(self, tiny_result):
+        healthy = {"flag": False}
+
+        def runner(jobs, n_workers, supervisor=None):
+            if not healthy["flag"]:
+                report = RunReport(total_jobs=len(jobs), pool_rebuilds=1)
+                for job in jobs:
+                    report.outcomes[key_digest(job.key())] = "quarantined"
+                return report
+            return _ok_runner(tiny_result)(jobs, n_workers, supervisor)
+
+        clock = [0.0]
+        breaker = CircuitBreaker(
+            threshold=1, window_s=60.0, cooldown_s=5.0, clock=lambda: clock[0]
+        )
+
+        async def main():
+            scheduler = ServeScheduler(
+                RunOptions(),
+                SupervisorConfig(),
+                SchedulerConfig(n_workers=1, batch_window_s=0.0, batch_max=4),
+                breaker=breaker,
+                runner=runner,
+            )
+            await scheduler.start()
+            # 1. A failing batch opens the breaker (threshold 1).
+            with pytest.raises(JobFailedError):
+                await scheduler.submit(_request(seed=1))
+            assert breaker.state is BreakerState.OPEN
+            # 2. Misses are refused while open; cache hits still serve.
+            with pytest.raises(DegradedError) as excinfo:
+                await scheduler.submit(_request(seed=2))
+            assert excinfo.value.retry_after_s is not None
+            base.seed_memo(_request(seed=9).job().key(), tiny_result)
+            source, _ = await scheduler.submit(_request(seed=9))
+            assert source == "cache"
+            # 3. Past the cooldown the next miss is the half-open probe;
+            #    a healthy pool closes the breaker again.
+            healthy["flag"] = True
+            clock[0] = 6.0
+            source, _ = await scheduler.submit(_request(seed=3))
+            assert source == "computed"
+            assert breaker.state is BreakerState.CLOSED
+            await scheduler.drain()
+
+        asyncio.run(main())
+        counters = _counters()
+        assert counters["serve.breaker_open"] == 1
+        assert counters["serve.degraded"] == 1
+        assert counters["serve.breaker_recovered"] == 1
+
+    def test_draining_refuses_new_misses(self, tiny_result):
+        async def main():
+            scheduler = _scheduler(_ok_runner(tiny_result))
+            await scheduler.start()
+            await scheduler.submit(_request())
+            await scheduler.drain()
+            base.seed_memo(_request(seed=5).job().key(), tiny_result)
+            source, _ = await scheduler.submit(_request(seed=5))
+            assert source == "cache"  # hits still served while draining
+            with pytest.raises(DrainingError):
+                await scheduler.submit(_request(seed=6))
+
+        asyncio.run(main())
+
+    def test_serve_metric_names_are_lintable(self):
+        from repro.analysis.lint import known_metric_names
+        from repro.obs import SERVE_METRIC_NAMES
+
+        assert set(SERVE_METRIC_NAMES) <= known_metric_names()
+
+
+# -- HTTP end to end ---------------------------------------------------------
+
+
+async def _http(port: int, method: str, path: str, body: bytes = b"") -> tuple:
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    request = (
+        f"{method} {path} HTTP/1.1\r\nHost: t\r\n"
+        f"Content-Length: {len(body)}\r\n\r\n"
+    ).encode() + body
+    writer.write(request)
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    head, _, payload = raw.partition(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    headers = dict(
+        line.decode().split(": ", 1)
+        for line in head.split(b"\r\n")[1:]
+        if b": " in line
+    )
+    return status, headers, json.loads(payload) if payload else None
+
+
+class TestHttpEndToEnd:
+    def test_simulate_health_metrics_and_errors(self, tiny_result, tmp_path):
+        async def main():
+            options = RunOptions(cache_dir=str(tmp_path / "cache"))
+            scheduler = ServeScheduler(
+                options,
+                SupervisorConfig(),
+                SchedulerConfig(n_workers=1, batch_window_s=0.01, batch_max=2),
+                runner=_ok_runner(tiny_result),
+            )
+            app = ServeApp(
+                scheduler,
+                RateLimiter(rate=0.0),
+                {"schema": "test", "engine": "object"},
+            )
+            await scheduler.start()
+            server = await asyncio.start_server(app.handle, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            body = json.dumps(
+                {"trace": "pops", "scale": SCALE, "kind": "vr"}
+            ).encode()
+
+            status, _, health = await _http(port, "GET", "/healthz")
+            assert status == 200 and health["status"] == "ok"
+            status, _, ready = await _http(port, "GET", "/readyz")
+            assert status == 200 and ready["ready"]
+
+            status, _, payload = await _http(port, "POST", "/simulate", body)
+            assert status == 200
+            assert payload["source"] == "computed"
+            assert payload["provenance"]["schema"] == "test"
+            assert payload["result"] == result_payload(tiny_result)
+
+            status, _, errors = await _http(port, "POST", "/simulate", b"junk")
+            assert status == 400 and errors["error"] == "bad_request"
+            status, _, _ = await _http(port, "GET", "/nowhere")
+            assert status == 404
+            status, _, _ = await _http(port, "GET", "/simulate")
+            assert status == 405
+            status, _, _ = await _http(port, "POST", "/chaosz", b"{}")
+            assert status == 404  # disabled without --allow-chaos
+
+            status, _, metrics = await _http(port, "GET", "/metricz")
+            assert status == 200
+            assert metrics["counters"]["serve.admitted"] == 1
+
+            await scheduler.drain()
+            status, _, _ = await _http(port, "GET", "/readyz")
+            assert status == 503
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run(main())
+
+    def test_rate_limit_answers_429(self, tiny_result):
+        async def main():
+            scheduler = _scheduler(_ok_runner(tiny_result))
+            clock = [0.0]
+            app = ServeApp(
+                scheduler,
+                RateLimiter(rate=1.0, burst=1.0, clock=lambda: clock[0]),
+                {},
+            )
+            await scheduler.start()
+            server = await asyncio.start_server(app.handle, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            body = json.dumps({"trace": "pops", "scale": SCALE}).encode()
+            status, _, _ = await _http(port, "POST", "/simulate", body)
+            assert status == 200
+            status, headers, payload = await _http(port, "POST", "/simulate", body)
+            assert status == 429
+            assert payload["error"] == "rate_limited"
+            assert "Retry-After" in headers
+            await scheduler.drain()
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run(main())
+        assert _counters()["serve.rate_limited"] == 1

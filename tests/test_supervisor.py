@@ -19,7 +19,9 @@ Everything runs at a tiny scale so the whole module stays fast.
 
 from __future__ import annotations
 
+import functools
 import json
+import time
 from pathlib import Path
 
 import pytest
@@ -39,6 +41,8 @@ from repro.runner import (
     runner_metrics,
 )
 from repro.runner.disk_cache import ResultCache, key_digest, schema_hash
+from repro.runner.pool import _execute_job
+from repro.runner.supervisor import Supervisor
 
 SCALE = 0.004
 
@@ -334,6 +338,85 @@ class TestSupervisor:
         from repro.obs import RUNNER_METRIC_NAMES
 
         assert set(RUNNER_METRIC_NAMES) <= known_metric_names()
+
+
+# -- deadline expiry and cancellation ------------------------------------------
+
+
+def _hang_first_attempt(hang_digest, job, options, chaos, attempt):
+    """Worker that hangs hard on *hang_digest*'s first attempt only.
+
+    Top-level (and used via ``functools.partial``) so the pool can
+    pickle it; every other (job, attempt) does the real work.
+    """
+    if key_digest(job.key()) == hang_digest and attempt == 1:
+        time.sleep(60.0)
+    return _execute_job(job, options, chaos, attempt)
+
+
+class TestDeadlineCancellation:
+    def test_per_job_deadline_overrides_run_timeout(self):
+        config = SupervisorConfig(
+            job_timeout_s=10.0, job_deadline_s={"aa" * 16: 0.5}
+        )
+        assert config.deadline_for("aa" * 16) == 0.5
+        assert config.deadline_for("bb" * 16) == 10.0
+        assert config.any_deadline
+        assert not SupervisorConfig().any_deadline
+        assert SupervisorConfig(job_deadline_s={"aa" * 16: 1.0}).any_deadline
+
+    def test_expired_job_does_not_poison_later_jobs(self):
+        """A deadline-expired job whose worker is still running must
+        not contaminate the rest of the batch: the watchdog kills the
+        pool, charges only the culprit, requeues the survivors without
+        penalty, and the healed run's data is bit-identical to serial."""
+        serial = _data("table6")
+        clear_caches()
+        jobs = _jobs()
+        hang_digest = key_digest(jobs[0].key())
+        config = SupervisorConfig(
+            max_attempts=2,
+            # Far above a real attempt (~0.5s) and far below the hang.
+            job_deadline_s={hang_digest: 3.0},
+            max_pool_rebuilds=10,
+            backoff_base_s=0.01,
+        )
+        report = RunReport(total_jobs=len(jobs), n_workers=2)
+        Supervisor(
+            jobs,
+            base.get_run_options(),
+            2,
+            config,
+            functools.partial(_hang_first_attempt, hang_digest),
+        ).run(report)
+        assert report.timed_out == 1  # only the hanging job was charged
+        assert report.pool_rebuilds >= 1
+        assert report.outcomes[hang_digest] == "retried"
+        survivors = {
+            digest: outcome
+            for digest, outcome in report.outcomes.items()
+            if digest != hang_digest
+        }
+        assert set(survivors.values()) == {"ok"}  # requeued penalty-free
+        assert report.healthy
+        assert _data("table6") == serial
+
+    def test_on_outcome_fires_per_terminal_outcome(self, tmp_path):
+        """The hook sees every terminal outcome exactly once, matching
+        the report — the serving layer resolves futures from it."""
+        events = []
+        jobs = _jobs(4)
+        chaos = ChaosConfig(seed=3, poison_one_in=2)
+        config = SupervisorConfig(
+            max_attempts=2,
+            chaos=chaos,
+            quarantine_dir=str(tmp_path / "quarantine"),
+            backoff_base_s=0.01,
+            on_outcome=lambda digest, outcome: events.append((digest, outcome)),
+        )
+        report = run_jobs(jobs, 2, supervisor=config)
+        assert sorted(events) == sorted(report.outcomes.items())
+        assert {"ok", "quarantined"} == set(outcome for _, outcome in events)
 
 
 # -- the disk cache's tmp-file race --------------------------------------------
