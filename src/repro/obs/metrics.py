@@ -372,6 +372,7 @@ SERVE_METRIC_NAMES: tuple[str, ...] = (
     "serve.degraded",
     "serve.breaker_open",
     "serve.breaker_recovered",
+    "serve.batcher_died",
     "serve.drained",
 )
 

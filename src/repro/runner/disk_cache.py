@@ -29,6 +29,10 @@ import shutil
 from pathlib import Path
 from typing import Any
 
+from ..obs import get_logger
+
+logger = get_logger("runner.disk_cache")
+
 #: Subpackages whose source determines simulation results.  Changes to
 #: the experiments/runner/perf layers (rendering, planning, plotting)
 #: do not invalidate cached simulations.
@@ -157,6 +161,12 @@ class ResultCache:
                 # races with a concurrent cleaner between the two calls.
                 with contextlib.suppress(FileNotFoundError):
                     tmp.unlink()
+        # Both attempts lost the race with a concurrent clear(); the run
+        # keeps its in-memory result, but a cache dir swept this often
+        # never persists anything — make that observable.
+        logger.warning(
+            "cache store dropped after repeated directory sweeps: %s", path
+        )
 
     def clear(self) -> int:
         """Delete every entry (all schema versions); returns files removed."""

@@ -181,6 +181,7 @@ class ServeScheduler:
         base.set_run_options(self._options)
         self._queue = asyncio.Queue(maxsize=self._cfg.queue_limit)
         self._task = asyncio.create_task(self._run_batches(), name="serve-batcher")
+        self._task.add_done_callback(self._on_batcher_done)
 
     async def drain(self) -> None:
         """Stop admitting misses, finish everything in flight, stop.
@@ -190,7 +191,7 @@ class ServeScheduler:
         loop is cancelled.  Idempotent.
         """
         self._draining = True
-        while self._inflight:
+        while self._inflight and not (self._task is None or self._task.done()):
             await asyncio.sleep(0.02)
         if self._task is not None:
             self._task.cancel()
@@ -198,10 +199,36 @@ class ServeScheduler:
                 await self._task
             except asyncio.CancelledError:
                 pass
+            except Exception:
+                pass  # already logged and settled by _on_batcher_done
             self._task = None
             _metrics.inc("serve.drained")
             if self._tr_serve is not None:
                 self._tr_serve.emit("serve", "drain")
+
+    def _on_batcher_done(self, task: "asyncio.Task[None]") -> None:
+        """Never let the batching loop die silently.
+
+        A cancelled task is the normal drain path; any other exit means
+        a bug escaped :meth:`_run_batches`.  Every in-flight entry would
+        otherwise hang its waiters forever (and wedge :meth:`drain`), so
+        they are failed here, which also empties ``self._inflight``.
+        """
+        if task.cancelled():
+            return
+        exc = task.exception()
+        if exc is None:
+            return
+        logger.error(
+            "serve-batcher task died unexpectedly; failing %d in-flight "
+            "entries",
+            len(self._inflight),
+            exc_info=exc,
+        )
+        _metrics.inc("serve.batcher_died")
+        rejection = JobFailedError(f"scheduler batching loop died: {exc!r}")
+        for entry in list(self._inflight.values()):
+            self._resolve_error(entry, rejection)
 
     # -- introspection (healthz / readyz) --------------------------------------
 
@@ -312,7 +339,9 @@ class ServeScheduler:
             return await asyncio.wait_for(
                 asyncio.shield(entry.future), deadline_s
             )
-        except TimeoutError:
+        # asyncio.TimeoutError is only aliased to the builtin on 3.11+;
+        # the tuple keeps 3.10 correct and is a no-op duplicate later.
+        except (TimeoutError, asyncio.TimeoutError):
             _metrics.inc("serve.deadline_exceeded")
             raise DeadlineExceededError(
                 f"no result within the {deadline_s:g}s deadline",
@@ -351,7 +380,7 @@ class ServeScheduler:
                     batch.append(
                         await asyncio.wait_for(self._queue.get(), remaining)
                     )
-                except TimeoutError:
+                except (TimeoutError, asyncio.TimeoutError):
                     break
 
             if not self._breaker.allow():

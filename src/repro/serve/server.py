@@ -97,6 +97,7 @@ async def _read_request(
         asyncio.IncompleteReadError,
         asyncio.LimitOverrunError,
         TimeoutError,
+        asyncio.TimeoutError,  # distinct from builtin TimeoutError on 3.10
         ConnectionError,
     ):
         return None
@@ -123,7 +124,12 @@ async def _read_request(
             return None
         try:
             body = await asyncio.wait_for(reader.readexactly(n), READ_TIMEOUT_S)
-        except (asyncio.IncompleteReadError, TimeoutError, ConnectionError):
+        except (
+            asyncio.IncompleteReadError,
+            TimeoutError,
+            asyncio.TimeoutError,
+            ConnectionError,
+        ):
             return None
     # Query strings are not part of this API; strip them for routing.
     path = path.split("?", 1)[0]
@@ -248,6 +254,15 @@ class ServeApp:
         if self.scheduler.draining:
             return _render_response(
                 503, error_payload(503, "draining", "server is draining")
+            )
+        queued = stats.get("queued", 0)
+        limit = stats.get("queue_limit", 0)
+        if isinstance(limit, int) and limit > 0 and queued >= limit:
+            return _render_response(
+                503,
+                error_payload(
+                    503, "saturated", "admission queue is full (shedding)"
+                ),
             )
         return _render_response(200, {"ready": True, **stats})
 

@@ -521,6 +521,29 @@ class TestScheduler:
 
         asyncio.run(main())
 
+    def test_dead_batcher_fails_waiters_and_drains(self, tiny_result):
+        # A bug escaping the batching loop must not strand waiters on
+        # futures that never settle, and drain() must still return.
+        class BoomBreaker(CircuitBreaker):
+            def allow(self):
+                raise RuntimeError("injected batcher bug")
+
+        async def main():
+            scheduler = ServeScheduler(
+                RunOptions(),
+                SupervisorConfig(),
+                SchedulerConfig(n_workers=1, batch_window_s=0.01, batch_max=4),
+                breaker=BoomBreaker(),
+                runner=_ok_runner(tiny_result),
+            )
+            await scheduler.start()
+            with pytest.raises(JobFailedError, match="batching loop died"):
+                await scheduler.submit(_request())
+            await asyncio.wait_for(scheduler.drain(), 2)
+
+        asyncio.run(main())
+        assert _counters()["serve.batcher_died"] == 1
+
     def test_serve_metric_names_are_lintable(self):
         from repro.analysis.lint import known_metric_names
         from repro.obs import SERVE_METRIC_NAMES
