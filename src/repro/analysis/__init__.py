@@ -1,6 +1,6 @@
-"""Static verification tooling: protocol model checker and lint pack.
+"""Static verification tooling: model checker, lint pack, sanitizer.
 
-Two tools live here, both with console entry points:
+Three tools live here, all with console entry points:
 
 * ``repro-verify`` (:mod:`repro.analysis.verify`) — an explicit-state
   model checker that drives a tiny two-processor machine through every
@@ -12,20 +12,37 @@ Two tools live here, both with console entry points:
   pack with repo-specific rules (metric-name validity, tracer slot
   discipline, ``__slots__`` on hot classes, no allocation in hot
   loops).
+* ``repro-sanitize`` (:mod:`repro.analysis.sanitize`) — a whole-repo
+  dataflow analyzer: determinism taint (nondeterminism sources
+  reaching cache keys, journal records, simulation state) and asyncio
+  hazards in the serve layer.  Its runtime companions —
+  :class:`~repro.analysis.runtime.DeterminismGuard` and
+  :class:`~repro.analysis.runtime.LoopStallWatchdog` — live in
+  :mod:`repro.analysis.runtime` and back the ``--sanitize`` flags on
+  ``repro-experiment`` and ``repro-serve``.
 """
 
 from .explore import ExplorationLimitError, ScenarioReport, Transition, explore
 from .lint import Finding, lint_paths, lint_source
 from .model import SCENARIOS, ProtocolModel, Scenario, snoop_table
+from .runtime import DeterminismGuard, DeterminismViolation, LoopStallWatchdog
+from .sanitize import analyze_paths, analyze_sources
+from .sanitize import Finding as SanitizeFinding
 
 __all__ = [
+    "DeterminismGuard",
+    "DeterminismViolation",
     "ExplorationLimitError",
     "Finding",
+    "LoopStallWatchdog",
     "ProtocolModel",
     "SCENARIOS",
+    "SanitizeFinding",
     "Scenario",
     "ScenarioReport",
     "Transition",
+    "analyze_paths",
+    "analyze_sources",
     "explore",
     "lint_paths",
     "lint_source",

@@ -143,6 +143,7 @@ def known_metric_names() -> frozenset[str]:
         COHERENCE_TO_L1_METRICS,
         HIERARCHY_METRIC_NAMES,
         RUNNER_METRIC_NAMES,
+        SANITIZE_METRIC_NAMES,
         SERVE_METRIC_NAMES,
         TLB_METRIC_NAMES,
     )
@@ -153,6 +154,7 @@ def known_metric_names() -> frozenset[str]:
         | frozenset(COHERENCE_TO_L1_METRICS)
         | frozenset(RUNNER_METRIC_NAMES)
         | frozenset(SERVE_METRIC_NAMES)
+        | frozenset(SANITIZE_METRIC_NAMES)
         | frozenset({"sim.refs", "wb.interval"})
     )
 

@@ -1,0 +1,1193 @@
+"""``repro-sanitize``: whole-repo determinism-taint and async-hazard
+analysis.
+
+The repo's headline guarantee — bit-identical results across
+``--jobs`` settings, engines, checkpoint resume and cache replay —
+is only as strong as the code that computes keys, evolves simulation
+state and writes journals.  ``repro-lint`` (:mod:`repro.analysis.lint`)
+checks single-node AST patterns; this module checks *dataflow*: it
+builds a module-level call graph over ``src/repro`` and tracks how
+nondeterminism sources and blocking calls flow through it.
+
+Two rule families:
+
+**Determinism taint** (RPS1xx)
+    * **RPS101** — directory listings (``iterdir``/``glob``/``rglob``/
+      ``scandir``/``os.listdir``/``os.walk``) must be wrapped in
+      ``sorted()`` or consumed by an order-insensitive reducer
+      (``sum``/``len``/``set``/``min``/``max``/``any``/``all``).
+      Filesystem order is arbitrary; iterating it unsorted makes
+      replay output, sweep order and digests depend on the inode
+      layout of the machine that ran the job.
+    * **RPS102** — wall-clock reads (``time.time``/``monotonic``/
+      ``perf_counter``/``datetime.now`` …) must not *reach a
+      determinism-critical sink* through the call graph.  Sinks are
+      the functions that define result identity and payloads:
+      simulation state evolution, result-cache key computation,
+      journal records and metrics snapshots
+      (:data:`DETERMINISM_SINKS`).  The manifest/timing paths that
+      legitimately read clocks are allowlisted
+      (:data:`CLOCK_ALLOWED`) and act as propagation barriers.
+    * **RPS103** — unseeded randomness (module-level ``random.*``
+      functions, ``uuid.uuid1``/``uuid4``, ``os.urandom``,
+      ``secrets.*``) is forbidden anywhere in the package; every RNG
+      in this repo must be a seeded ``random.Random(seed)``.
+    * **RPS104** — iterating a set (display, comprehension,
+      ``set()``/``frozenset()`` call, or a local assigned from one)
+      leaks ``PYTHONHASHSEED``-dependent order; wrap the iterable in
+      ``sorted()``.
+    * **RPS105** — the builtin ``hash()`` is salted per process for
+      ``str``/``bytes``; anything content-keyed must use
+      :mod:`hashlib` instead.
+
+**Async hazards** (RPS2xx)
+    * **RPS201** — blocking calls (``open``, ``time.sleep``,
+      ``subprocess.*``, ``Path.read_text``/``write_text`` …, or any
+      repo function whose call-graph closure blocks — the disk
+      cache, the supervised pool) inside ``async def`` must be
+      wrapped in ``asyncio.to_thread``/``run_in_executor``; a direct
+      call stalls every task on the loop.
+    * **RPS202** — ``asyncio.create_task``/``ensure_future`` results
+      must be kept *and* observed (``add_done_callback`` or a later
+      ``await``); a dropped task dies silently and may be collected
+      mid-flight.
+    * **RPS203** — ``except TimeoutError`` in a coroutine without the
+      ``asyncio.TimeoutError`` alias misses ``wait_for`` expiry on
+      Python 3.10, where the two are still distinct types.
+    * **RPS204** — ``await`` inside a synchronous ``with`` on a
+      lock-like object parks the coroutine while the lock stays
+      held, blocking the loop's other tasks (and inviting deadlock).
+
+Findings can be silenced per line with ``# rps: ignore[RPS101]`` (or
+a bare ``# rps: ignore``), or accepted wholesale through a committed
+baseline file (``--baseline`` / ``--write-baseline``): entries are
+fingerprinted by rule, module and normalised source text so they
+survive line drift.  ``--strict`` additionally fails on stale
+baseline entries, keeping the baseline honest.
+
+The runtime companions (:mod:`repro.analysis.runtime`) cover what
+static analysis cannot: an event-loop stall watchdog for the serving
+layer and a :class:`~repro.analysis.runtime.DeterminismGuard` that
+patches the nondeterminism sources to raise during tier-1 runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import re
+import sys
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Rule id -> one-line summary (``repro-sanitize --list-rules``).
+RULES: dict[str, str] = {
+    "RPS000": "file must parse",
+    "RPS101": "directory listings must be sorted or consumed "
+    "order-insensitively",
+    "RPS102": "wall-clock reads must not reach determinism-critical sinks",
+    "RPS103": "unseeded randomness is forbidden in package code",
+    "RPS104": "set iteration order must not escape; wrap in sorted()",
+    "RPS105": "builtin hash() is PYTHONHASHSEED-salted; use hashlib",
+    "RPS201": "blocking call inside async def; wrap in asyncio.to_thread",
+    "RPS202": "create_task result dropped or never observed",
+    "RPS203": "except TimeoutError needs the asyncio.TimeoutError alias",
+    "RPS204": "await while holding a synchronous lock",
+}
+
+# ---------------------------------------------------------------- catalogues
+
+#: Wall-clock sources (RPS102 taint roots).
+WALL_CLOCK_SOURCES = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.date.today",
+    }
+)
+
+#: Unseeded randomness sources (RPS103): the module-level ``random``
+#: functions draw from the hidden process-global ``Random`` instance.
+RANDOM_SOURCES = frozenset(
+    {
+        "random.random",
+        "random.randint",
+        "random.randrange",
+        "random.randbytes",
+        "random.getrandbits",
+        "random.choice",
+        "random.choices",
+        "random.shuffle",
+        "random.sample",
+        "random.uniform",
+        "random.gauss",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "os.urandom",
+        "secrets.token_bytes",
+        "secrets.token_hex",
+        "secrets.token_urlsafe",
+        "secrets.randbits",
+        "secrets.choice",
+    }
+)
+
+#: Directory-listing calls whose order is filesystem-dependent.
+FS_ORDER_EXT = frozenset({"os.listdir", "os.scandir", "os.walk"})
+FS_ORDER_ATTRS = frozenset({"iterdir", "glob", "rglob", "scandir"})
+
+#: Wrapping any of these around a listing makes its order irrelevant.
+ORDER_ACCEPTORS = frozenset(
+    {"sorted", "set", "frozenset", "len", "sum", "min", "max", "any", "all"}
+)
+
+#: Blocking calls that must not run on the event loop (RPS201).
+BLOCKING_EXT = frozenset(
+    {
+        "open",
+        "input",
+        "time.sleep",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.Popen",
+        "os.system",
+        "shutil.rmtree",
+        "shutil.copyfile",
+        "socket.create_connection",
+        "urllib.request.urlopen",
+    }
+)
+
+#: Blocking method names on arbitrary receivers (``Path`` I/O mostly).
+BLOCKING_ATTRS = frozenset(
+    {
+        "read_text",
+        "write_text",
+        "read_bytes",
+        "write_bytes",
+    }
+)
+
+#: Determinism-critical sinks (RPS102): module key -> qualnames whose
+#: call-graph closure must be wall-clock-free.  These functions define
+#: what a result *is*: the simulation state machine, the cache keys
+#: naming results on disk, the journal records ``--resume`` trusts,
+#: and the metrics snapshots asserted byte-identical across runners.
+DETERMINISM_SINKS: dict[str, frozenset[str]] = {
+    "repro/experiments/base.py": frozenset({"simulation_key", "disk_key"}),
+    "repro/runner/disk_cache.py": frozenset({"key_digest", "schema_hash"}),
+    "repro/runner/planner.py": frozenset({"SimJob.key"}),
+    "repro/runner/supervisor.py": frozenset({"Supervisor._journal_entry"}),
+    "repro/system/multiprocessor.py": frozenset(
+        {"Multiprocessor.run", "Multiprocessor._run_fast"}
+    ),
+    "repro/hierarchy/twolevel.py": frozenset({"TwoLevelHierarchy.access"}),
+    "repro/obs/metrics.py": frozenset({"MetricsRegistry.snapshot"}),
+}
+
+#: Functions allowed to read clocks (RPS102 barriers): provenance and
+#: timing metadata *about* a run, never part of a result's identity.
+#: ``"*"`` allows a whole module.
+CLOCK_ALLOWED: dict[str, frozenset[str] | str] = {
+    "repro/obs/manifest.py": "*",  # created_at provenance stamps
+    "repro/experiments/cli.py": "*",  # per-experiment wall timings
+    "repro/runner/pool.py": "*",  # RunReport.elapsed_s
+    "repro/serve/admission.py": "*",  # token-bucket clock
+    "repro/serve/breaker.py": "*",  # sliding-window clock
+    "repro/analysis/runtime.py": "*",  # the watchdog measures stalls
+}
+
+#: ``# rps: ignore`` / ``# rps: ignore[RPS101,RPS203]`` pragmas.
+_PRAGMA_RE = re.compile(r"#\s*rps:\s*ignore(?:\[([A-Z0-9,\s]+)\])?")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One sanitizer violation."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    chain: tuple[str, ...] = ()
+
+    def render(self) -> str:
+        text = f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+        if self.chain:
+            text += f" [via {' -> '.join(self.chain)}]"
+        return text
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "chain": list(self.chain),
+        }
+
+
+# ------------------------------------------------------------- module model
+
+
+def _module_key(path: str) -> str:
+    """Path from the package root (``src/repro/mmu/tlb.py`` ->
+    ``repro/mmu/tlb.py``); paths outside keep their as-given form."""
+    parts = Path(path).parts
+    if "repro" in parts:
+        return "/".join(parts[parts.index("repro") :])
+    return "/".join(parts)
+
+
+def _dotted_name(key: str) -> str:
+    """Module key -> dotted module name (``repro/obs/__init__.py`` ->
+    ``repro.obs``)."""
+    parts = list(Path(key).parts)
+    if parts[-1] == "__init__.py":
+        parts = parts[:-1]
+    else:
+        parts[-1] = parts[-1].removesuffix(".py")
+    return ".".join(parts)
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method in the call graph."""
+
+    module: "ModuleInfo"
+    qualname: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    is_async: bool
+    #: Resolved call sites: ``("int", "repro/x.py::f", line, col)``,
+    #: ``("ext", "time.time", line, col)`` or ``("attr", name, ...)``.
+    calls: list[tuple[str, str, int, int]] = field(default_factory=list)
+
+    @property
+    def ref(self) -> str:
+        return f"{self.module.key}::{self.qualname}"
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module plus its symbol tables."""
+
+    key: str
+    path: str
+    dotted: str
+    tree: ast.Module
+    lines: list[str]
+    imports: dict[str, str] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: dict[str, set[str]] = field(default_factory=dict)
+
+
+def _collect_imports(module: ModuleInfo) -> None:
+    package = module.dotted
+    if not module.key.endswith("__init__.py"):
+        package = package.rpartition(".")[0]
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                name = alias.asname or alias.name.partition(".")[0]
+                target = alias.name if alias.asname else alias.name.partition(".")[0]
+                module.imports[name] = target
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                parts = package.split(".") if package else []
+                if node.level > 1:
+                    parts = parts[: len(parts) - (node.level - 1)]
+                base = ".".join(parts)
+            else:
+                base = ""
+            source = node.module or ""
+            prefix = ".".join(p for p in (base, source) if p)
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                name = alias.asname or alias.name
+                module.imports[name] = (
+                    f"{prefix}.{alias.name}" if prefix else alias.name
+                )
+
+
+def _collect_functions(module: ModuleInfo) -> None:
+    """Register every def with its qualified name (one class level)."""
+
+    def visit(node: ast.AST, class_name: str | None) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{class_name}.{child.name}" if class_name else child.name
+                module.functions[qual] = FunctionInfo(
+                    module,
+                    qual,
+                    child,
+                    isinstance(child, ast.AsyncFunctionDef),
+                )
+                if class_name:
+                    module.classes.setdefault(class_name, set()).add(child.name)
+            elif isinstance(child, ast.ClassDef) and class_name is None:
+                module.classes.setdefault(child.name, set())
+                visit(child, child.name)
+
+
+    visit(module.tree, None)
+
+
+def _attr_chain(node: ast.expr) -> list[str] | None:
+    """``datetime.datetime.now`` -> ["datetime", "datetime", "now"];
+    None when the chain does not bottom out at a plain name."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return parts[::-1]
+    return None
+
+
+class Repo:
+    """All analysed modules, with cross-module symbol resolution."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ModuleInfo] = {}
+        self._by_dotted: dict[str, ModuleInfo] = {}
+
+    def add(self, module: ModuleInfo) -> None:
+        self.modules[module.key] = module
+        self._by_dotted[module.dotted] = module
+
+    def lookup(self, dotted: str, depth: int = 0) -> FunctionInfo | None:
+        """Resolve a dotted name to a repo function, following one
+        re-export hop per recursion step (``repro.obs.RunManifest``
+        via ``repro/obs/__init__.py``'s ``from .manifest import ...``)."""
+        if depth > 4:
+            return None
+        parts = dotted.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            module = self._by_dotted.get(".".join(parts[:cut]))
+            if module is None:
+                continue
+            rest = ".".join(parts[cut:])
+            found = module.functions.get(rest)
+            if found is not None:
+                return found
+            head = parts[cut]
+            if head in module.classes:
+                init = module.functions.get(f"{head}.__init__")
+                if len(parts) - cut == 1:
+                    return init
+                method = module.functions.get(rest)
+                return method
+            if head in module.imports:
+                tail = ".".join(parts[cut + 1 :])
+                target = module.imports[head]
+                return self.lookup(
+                    f"{target}.{tail}" if tail else target, depth + 1
+                )
+            return None
+        return None
+
+    def resolve_call(
+        self, module: ModuleInfo, class_ctx: str | None, func: ast.expr
+    ) -> tuple[str, str] | None:
+        """Classify one call target as ``("int", ref)``, ``("ext",
+        dotted)`` or ``("attr", name)``."""
+        if isinstance(func, ast.Name):
+            name = func.id
+            if name in module.functions:
+                return ("int", f"{module.key}::{name}")
+            if name in module.classes:
+                init = module.functions.get(f"{name}.__init__")
+                if init is not None:
+                    return ("int", f"{module.key}::{name}.__init__")
+                return None
+            if name in module.imports:
+                dotted = module.imports[name]
+                found = self.lookup(dotted)
+                if found is not None:
+                    return ("int", found.ref)
+                return ("ext", dotted)
+            return ("ext", name)  # builtins: open, hash, sorted, ...
+        chain = _attr_chain(func)
+        if chain is None:
+            # A call on a computed expression; only the method name is
+            # knowable.
+            if isinstance(func, ast.Attribute):
+                return ("attr", func.attr)
+            return None
+        root = chain[0]
+        if root == "self" and class_ctx is not None and len(chain) == 2:
+            if chain[1] in module.classes.get(class_ctx, set()):
+                return ("int", f"{module.key}::{class_ctx}.{chain[1]}")
+            return ("attr", chain[-1])
+        if root in module.imports:
+            dotted = ".".join([module.imports[root], *chain[1:]])
+            found = self.lookup(dotted)
+            if found is not None:
+                return ("int", found.ref)
+            return ("ext", dotted)
+        return ("attr", chain[-1])
+
+    def function(self, ref: str) -> FunctionInfo | None:
+        key, _, qual = ref.partition("::")
+        module = self.modules.get(key)
+        return module.functions.get(qual) if module else None
+
+
+def _collect_calls(repo: Repo, module: ModuleInfo) -> None:
+    """Attribute every call site to its innermost registered function.
+
+    Nested defs (closures) are not in the one-level symbol table;
+    their bodies are analysed under the enclosing function, so a
+    closure's blocking or clock calls still count against the
+    function that owns (and presumably invokes) it.
+    """
+
+    def walk(node: ast.AST, class_ctx: str | None, func: FunctionInfo | None) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                walk(child, child.name if class_ctx is None else class_ctx, func)
+                continue
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{class_ctx}.{child.name}" if class_ctx else child.name
+                inner = module.functions.get(qual)
+                if inner is not None and inner.node is child:
+                    walk(child, class_ctx, inner)
+                else:
+                    walk(child, class_ctx, func)
+                continue
+            if isinstance(child, ast.Call) and func is not None:
+                resolved = repo.resolve_call(module, class_ctx, child.func)
+                if resolved is not None:
+                    kind, ident = resolved
+                    func.calls.append(
+                        (kind, ident, child.lineno, child.col_offset)
+                    )
+            walk(child, class_ctx, func)
+
+    walk(module.tree, None, None)
+
+
+# ----------------------------------------------------------------- taint
+
+
+def _allowed_clock(ref: str) -> bool:
+    key, _, qual = ref.partition("::")
+    allowed = CLOCK_ALLOWED.get(key)
+    if allowed is None:
+        return False
+    return allowed == "*" or qual in allowed
+
+
+def _wall_clock_findings(repo: Repo) -> Iterator[Finding]:
+    """RPS102: DFS from each sink over internal edges; report every
+    wall-clock call site reachable without crossing an allowlisted
+    barrier function."""
+    for key, quals in DETERMINISM_SINKS.items():
+        module = repo.modules.get(key)
+        if module is None:
+            continue
+        for qual in sorted(quals):
+            sink = module.functions.get(qual)
+            if sink is None:
+                continue
+            yield from _taint_dfs(repo, sink, (sink.ref,), set())
+
+
+def _taint_dfs(
+    repo: Repo,
+    func: FunctionInfo,
+    chain: tuple[str, ...],
+    visited: set[str],
+) -> Iterator[Finding]:
+    if func.ref in visited:
+        return
+    visited.add(func.ref)
+    for kind, ident, line, col in func.calls:
+        if kind == "ext" and ident in WALL_CLOCK_SOURCES:
+            yield Finding(
+                "RPS102",
+                func.module.path,
+                line,
+                col,
+                f'wall-clock read "{ident}" reaches determinism-critical '
+                f'sink "{chain[0]}"',
+                chain=chain[1:],
+            )
+        elif kind == "int":
+            callee = repo.function(ident)
+            if callee is None or _allowed_clock(ident):
+                continue
+            yield from _taint_dfs(repo, callee, chain + (ident,), visited)
+
+
+# ------------------------------------------------------------ async hazards
+
+
+def _blocking_closure(repo: Repo, func: FunctionInfo, visited: set[str]) -> bool:
+    """Does calling this *sync* function (transitively) block?"""
+    if func.ref in visited:
+        return False
+    visited.add(func.ref)
+    for kind, ident, _line, _col in func.calls:
+        if kind == "ext" and ident in BLOCKING_EXT:
+            return True
+        if kind == "attr" and ident in BLOCKING_ATTRS:
+            return True
+        if kind == "int":
+            callee = repo.function(ident)
+            if callee is not None and not callee.is_async and _blocking_closure(
+                repo, callee, visited
+            ):
+                return True
+    return False
+
+
+def _async_blocking_findings(repo: Repo) -> Iterator[Finding]:
+    """RPS201: blocking call sites inside ``async def`` bodies."""
+    for module in repo.modules.values():
+        for func in module.functions.values():
+            if not func.is_async:
+                continue
+            for kind, ident, line, col in func.calls:
+                if kind == "ext" and ident in BLOCKING_EXT:
+                    yield Finding(
+                        "RPS201",
+                        module.path,
+                        line,
+                        col,
+                        f'blocking call "{ident}" inside async '
+                        f'"{func.qualname}" — wrap it in '
+                        "asyncio.to_thread(...)",
+                    )
+                elif kind == "attr" and ident in BLOCKING_ATTRS:
+                    yield Finding(
+                        "RPS201",
+                        module.path,
+                        line,
+                        col,
+                        f'blocking I/O method ".{ident}(...)" inside async '
+                        f'"{func.qualname}" — wrap it in '
+                        "asyncio.to_thread(...)",
+                    )
+                elif kind == "int":
+                    callee = repo.function(ident)
+                    if (
+                        callee is not None
+                        and not callee.is_async
+                        and _blocking_closure(repo, callee, set())
+                    ):
+                        yield Finding(
+                            "RPS201",
+                            module.path,
+                            line,
+                            col,
+                            f'"{callee.qualname}" does blocking I/O in its '
+                            f'call-graph closure; called from async '
+                            f'"{func.qualname}" — wrap it in '
+                            "asyncio.to_thread(...)",
+                            chain=(callee.ref,),
+                        )
+
+
+def _is_task_spawn(node: ast.Call, module: ModuleInfo) -> bool:
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr in ("create_task", "ensure_future")
+    if isinstance(func, ast.Name):
+        dotted = module.imports.get(func.id, "")
+        return dotted.endswith((".create_task", ".ensure_future"))
+    return False
+
+
+def _observes_task(scope: ast.AST, target: ast.expr) -> bool:
+    """Is the assigned task ever awaited or given a done-callback
+    inside *scope*?  *target* is the ``Name`` or ``self.attr`` the
+    task was bound to."""
+    if isinstance(target, ast.Name):
+        wanted: tuple[str, ...] = (target.id,)
+    elif isinstance(target, ast.Attribute) and isinstance(
+        target.value, ast.Name
+    ):
+        wanted = (target.value.id, target.attr)
+    else:
+        return True  # an exotic binding; give it the benefit of the doubt
+
+    def matches(expr: ast.expr) -> bool:
+        if len(wanted) == 1:
+            return isinstance(expr, ast.Name) and expr.id == wanted[0]
+        return (
+            isinstance(expr, ast.Attribute)
+            and expr.attr == wanted[1]
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == wanted[0]
+        )
+
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Await) and matches(node.value):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "add_done_callback"
+                and matches(func.value)
+            ):
+                return True
+            # await asyncio.gather(..., task, ...) / wait([task])
+            for arg in node.args:
+                if matches(arg):
+                    return True
+    return False
+
+
+def _task_findings(module: ModuleInfo) -> Iterator[Finding]:
+    """RPS202: dropped or unobserved ``create_task`` results."""
+
+    class_nodes = {
+        node.name: node
+        for node in module.tree.body
+        if isinstance(node, ast.ClassDef)
+    }
+    for qual, func in module.functions.items():
+        for stmt in ast.walk(func.node):
+            if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+                if _is_task_spawn(stmt.value, module):
+                    yield Finding(
+                        "RPS202",
+                        module.path,
+                        stmt.lineno,
+                        stmt.col_offset,
+                        "create_task result dropped — the task can be "
+                        "garbage-collected mid-flight and its exception "
+                        "is lost; keep a reference and add a done-callback",
+                    )
+            elif isinstance(stmt, ast.Assign) and isinstance(
+                stmt.value, ast.Call
+            ):
+                if not _is_task_spawn(stmt.value, module):
+                    continue
+                target = stmt.targets[0]
+                scope: ast.AST = func.node
+                if isinstance(target, ast.Attribute):
+                    class_name = qual.partition(".")[0]
+                    scope = class_nodes.get(class_name, func.node)
+                if not _observes_task(scope, target):
+                    yield Finding(
+                        "RPS202",
+                        module.path,
+                        stmt.lineno,
+                        stmt.col_offset,
+                        "create_task result is never awaited and has no "
+                        "done-callback — failures in the task vanish "
+                        "silently",
+                    )
+
+
+def _timeout_findings(module: ModuleInfo) -> Iterator[Finding]:
+    """RPS203: ``except TimeoutError`` near ``await`` without the
+    ``asyncio.TimeoutError`` 3.10 alias."""
+    for func in module.functions.values():
+        has_await = any(
+            isinstance(node, ast.Await) for node in ast.walk(func.node)
+        )
+        if not has_await:
+            continue
+        for node in ast.walk(func.node):
+            if not isinstance(node, ast.ExceptHandler) or node.type is None:
+                continue
+            names: list[str] = []
+            has_builtin = False
+            has_alias = False
+            exprs = (
+                node.type.elts
+                if isinstance(node.type, ast.Tuple)
+                else [node.type]
+            )
+            for expr in exprs:
+                chain = _attr_chain(expr)
+                if chain is None:
+                    continue
+                names.append(".".join(chain))
+                if chain == ["TimeoutError"]:
+                    has_builtin = True
+                if chain[-1] == "TimeoutError" and len(chain) > 1:
+                    has_alias = True
+            if has_builtin and not has_alias:
+                yield Finding(
+                    "RPS203",
+                    module.path,
+                    node.lineno,
+                    node.col_offset,
+                    "except TimeoutError in a coroutine misses "
+                    "asyncio.TimeoutError on Python 3.10 — catch "
+                    "(TimeoutError, asyncio.TimeoutError)",
+                )
+
+
+_LOCKISH_RE = re.compile(r"lock|mutex|sem", re.IGNORECASE)
+
+
+def _lock_findings(module: ModuleInfo) -> Iterator[Finding]:
+    """RPS204: ``await`` inside a synchronous ``with <lock>``."""
+    for func in module.functions.values():
+        if not func.is_async:
+            continue
+        for node in ast.walk(func.node):
+            if not isinstance(node, ast.With):
+                continue
+            lockish = False
+            for item in node.items:
+                for part in ast.walk(item.context_expr):
+                    if isinstance(part, ast.Name) and _LOCKISH_RE.search(
+                        part.id
+                    ):
+                        lockish = True
+                    elif isinstance(part, ast.Attribute) and _LOCKISH_RE.search(
+                        part.attr
+                    ):
+                        lockish = True
+            if not lockish:
+                continue
+            for inner in node.body:
+                for sub in ast.walk(inner):
+                    if isinstance(sub, ast.Await):
+                        yield Finding(
+                            "RPS204",
+                            module.path,
+                            sub.lineno,
+                            sub.col_offset,
+                            "await while holding a synchronous lock "
+                            "blocks every other task on the loop — use "
+                            "asyncio.Lock, or release before awaiting",
+                        )
+                        break
+
+
+# --------------------------------------------------------- syntactic rules
+
+
+def _parents(tree: ast.AST) -> dict[ast.AST, ast.AST]:
+    parents: dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def _order_accepted(
+    node: ast.AST, parents: dict[ast.AST, ast.AST]
+) -> bool:
+    """Is this listing wrapped (however deep, within its statement) in
+    an order-insensitive consumer such as ``sorted(...)``?"""
+    current = parents.get(node)
+    while current is not None and isinstance(current, ast.expr):
+        if isinstance(current, ast.Call):
+            func = current.func
+            name = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr
+                if isinstance(func, ast.Attribute)
+                else None
+            )
+            if name in ORDER_ACCEPTORS:
+                return True
+        current = parents.get(current)
+    # comprehension nodes are not ast.expr; step over them.
+    if isinstance(current, ast.comprehension):
+        return _order_accepted(current, parents)
+    return False
+
+
+def _fs_order_findings(repo: Repo, module: ModuleInfo) -> Iterator[Finding]:
+    """RPS101: unsorted directory listings."""
+    parents = _parents(module.tree)
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        resolved = repo.resolve_call(module, None, node.func)
+        listing: str | None = None
+        if resolved is not None:
+            kind, ident = resolved
+            if kind == "ext" and ident in FS_ORDER_EXT:
+                listing = ident
+            elif kind == "attr" and ident in FS_ORDER_ATTRS:
+                listing = f".{ident}()"
+        if listing is None and isinstance(node.func, ast.Attribute) and (
+            node.func.attr in FS_ORDER_ATTRS
+        ):
+            # ``Path(x).glob(...)``: the chain bottoms out at a call,
+            # so resolve_call cannot classify it, but the method name
+            # alone identifies the listing.
+            listing = f".{node.func.attr}()"
+        if listing is None or _order_accepted(node, parents):
+            continue
+        yield Finding(
+            "RPS101",
+            module.path,
+            node.lineno,
+            node.col_offset,
+            f'directory listing "{listing}" iterated in filesystem order '
+            "— wrap it in sorted() (or consume it order-insensitively)",
+        )
+
+
+def _random_findings(repo: Repo, module: ModuleInfo) -> Iterator[Finding]:
+    """RPS103: unseeded randomness call sites."""
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        resolved = repo.resolve_call(module, None, node.func)
+        if resolved is None:
+            continue
+        kind, ident = resolved
+        if kind == "ext" and ident in RANDOM_SOURCES:
+            yield Finding(
+                "RPS103",
+                module.path,
+                node.lineno,
+                node.col_offset,
+                f'unseeded randomness "{ident}" — construct a seeded '
+                "random.Random(seed) instead",
+            )
+
+
+def _setish(expr: ast.expr, local_sets: set[str]) -> bool:
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name):
+        return expr.func.id in ("set", "frozenset")
+    return isinstance(expr, ast.Name) and expr.id in local_sets
+
+
+def _set_iteration_findings(module: ModuleInfo) -> Iterator[Finding]:
+    """RPS104: iteration over hash-ordered sets."""
+    for func in module.functions.values():
+        local_sets = {
+            target.id
+            for stmt in ast.walk(func.node)
+            if isinstance(stmt, ast.Assign)
+            for target in stmt.targets
+            if isinstance(target, ast.Name) and _setish(stmt.value, set())
+        }
+        seen: set[int] = set()
+        for node in ast.walk(func.node):
+            iters: list[ast.expr] = []
+            if isinstance(node, ast.For):
+                iters.append(node.iter)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                iters.extend(gen.iter for gen in node.generators)
+            for it in iters:
+                if id(it) in seen or not _setish(it, local_sets):
+                    continue
+                seen.add(id(it))
+                yield Finding(
+                    "RPS104",
+                    module.path,
+                    it.lineno,
+                    it.col_offset,
+                    "iteration over a set leaks PYTHONHASHSEED-dependent "
+                    "order — iterate sorted(...) instead",
+                )
+
+
+def _hash_findings(module: ModuleInfo) -> Iterator[Finding]:
+    """RPS105: builtin ``hash()`` calls."""
+    for node in ast.walk(module.tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "hash"
+        ):
+            yield Finding(
+                "RPS105",
+                module.path,
+                node.lineno,
+                node.col_offset,
+                "builtin hash() is salted per process for str/bytes "
+                "(PYTHONHASHSEED) — use hashlib for anything keyed or "
+                "persisted",
+            )
+
+
+# ------------------------------------------------------------------ driver
+
+
+def _suppressed(finding: Finding, repo: Repo) -> bool:
+    module = repo.modules.get(_module_key(finding.path))
+    if module is None or not 1 <= finding.line <= len(module.lines):
+        return False
+    match = _PRAGMA_RE.search(module.lines[finding.line - 1])
+    if match is None:
+        return False
+    if match.group(1) is None:
+        return True
+    rules = {part.strip() for part in match.group(1).split(",")}
+    return finding.rule in rules
+
+
+def build_repo(files: dict[str, str]) -> tuple[Repo, list[Finding]]:
+    """Parse *files* (path -> source) into a :class:`Repo`.
+
+    Only modules under the ``repro`` package participate; anything
+    else (tests, benchmarks) is ignored.  Unparseable files surface
+    as RPS000 findings.
+    """
+    repo = Repo()
+    broken: list[Finding] = []
+    for path, source in sorted(files.items()):
+        key = _module_key(path)
+        if not key.startswith("repro/") or not key.endswith(".py"):
+            continue
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            broken.append(
+                Finding(
+                    "RPS000",
+                    path,
+                    exc.lineno or 1,
+                    (exc.offset or 1) - 1,
+                    f"syntax error: {exc.msg}",
+                )
+            )
+            continue
+        module = ModuleInfo(
+            key, path, _dotted_name(key), tree, source.splitlines()
+        )
+        _collect_imports(module)
+        _collect_functions(module)
+        repo.add(module)
+    for module in repo.modules.values():
+        _collect_calls(repo, module)
+    return repo, broken
+
+
+def analyze_sources(files: dict[str, str]) -> list[Finding]:
+    """Analyse in-memory sources; the workhorse behind
+    :func:`analyze_paths` and the fixture tests."""
+    repo, findings = build_repo(files)
+    findings.extend(_wall_clock_findings(repo))
+    findings.extend(_async_blocking_findings(repo))
+    for module in repo.modules.values():
+        findings.extend(_fs_order_findings(repo, module))
+        findings.extend(_random_findings(repo, module))
+        findings.extend(_set_iteration_findings(module))
+        findings.extend(_hash_findings(module))
+        findings.extend(_task_findings(module))
+        findings.extend(_timeout_findings(module))
+        findings.extend(_lock_findings(module))
+    findings = [f for f in findings if not _suppressed(f, repo)]
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def _iter_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        else:
+            yield path
+
+
+def analyze_paths(paths: Iterable[str | Path]) -> list[Finding]:
+    """Analyse every ``*.py`` file under the given files/directories."""
+    files = {
+        str(path): path.read_text(encoding="utf-8")
+        for path in _iter_files(paths)
+    }
+    return analyze_sources(files)
+
+
+# ---------------------------------------------------------------- baseline
+
+
+def fingerprint(finding: Finding, files: dict[str, str]) -> str:
+    """Line-drift-tolerant identity: rule, module and normalised
+    source text of the flagged line."""
+    source = files.get(finding.path, "")
+    lines = source.splitlines()
+    text = ""
+    if 1 <= finding.line <= len(lines):
+        text = " ".join(lines[finding.line - 1].split())
+    return f"{finding.rule}|{_module_key(finding.path)}|{text}"
+
+
+def load_baseline(path: str | Path) -> dict[str, int]:
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    entries = data.get("entries", [])
+    counts: dict[str, int] = {}
+    for entry in entries:
+        counts[entry] = counts.get(entry, 0) + 1
+    return counts
+
+
+def write_baseline(
+    path: str | Path, findings: Sequence[Finding], files: dict[str, str]
+) -> None:
+    entries = sorted(fingerprint(f, files) for f in findings)
+    Path(path).write_text(
+        json.dumps(
+            {"format": "repro-sanitize-baseline", "version": 1, "entries": entries},
+            indent=2,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+
+
+def apply_baseline(
+    findings: Sequence[Finding],
+    baseline: dict[str, int],
+    files: dict[str, str],
+) -> tuple[list[Finding], list[str]]:
+    """Subtract baselined findings; returns (fresh, stale-entries)."""
+    remaining = dict(baseline)
+    fresh: list[Finding] = []
+    for finding in findings:
+        key = fingerprint(finding, files)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+        else:
+            fresh.append(finding)
+    stale = sorted(k for k, n in remaining.items() if n > 0)
+    return fresh, stale
+
+
+# -------------------------------------------------------------------- CLI
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sanitize",
+        description=(
+            "Whole-repo determinism-taint and async-hazard analysis "
+            "(rules RPS101-RPS105, RPS201-RPS204)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyse (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default %(default)s)",
+    )
+    parser.add_argument(
+        "--json-out",
+        metavar="PATH",
+        default=None,
+        help="also write the JSON report here (CI artifact)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help="accepted-findings file (default: ./.repro-sanitize-baseline.json "
+        "when present)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="PATH",
+        default=None,
+        help="write the current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="also fail on stale baseline entries",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue"
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule, summary in sorted(RULES.items()):
+            print(f"{rule}  {summary}")
+        return 0
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        print(f"no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+    files = {
+        str(path): path.read_text(encoding="utf-8")
+        for path in _iter_files(args.paths)
+    }
+    findings = analyze_sources(files)
+
+    if args.write_baseline is not None:
+        write_baseline(args.write_baseline, findings, files)
+        print(
+            f"baseline written: {len(findings)} finding(s) -> "
+            f"{args.write_baseline}"
+        )
+        return 0
+
+    baseline_path = args.baseline
+    if baseline_path is None and Path(".repro-sanitize-baseline.json").is_file():
+        baseline_path = ".repro-sanitize-baseline.json"
+    stale: list[str] = []
+    if baseline_path is not None:
+        findings, stale = apply_baseline(
+            findings, load_baseline(baseline_path), files
+        )
+
+    report = {
+        "ok": not findings and not (args.strict and stale),
+        "findings": [f.to_dict() for f in findings],
+        "stale_baseline_entries": stale,
+    }
+    if args.json_out is not None:
+        Path(args.json_out).write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    if args.format == "json":
+        json.dump(report, sys.stdout, indent=2, sort_keys=True)
+        print()
+    else:
+        for finding in findings:
+            print(finding.render())
+        for entry in stale:
+            print(f"stale baseline entry (fix or regenerate): {entry}")
+        n_files = len(files)
+        if findings:
+            print(f"{len(findings)} finding(s) in {n_files} file(s)")
+        else:
+            tail = f", {len(stale)} stale baseline entry(ies)" if stale else ""
+            print(f"clean: {n_files} file(s), 0 findings{tail}")
+    if findings:
+        return 1
+    if stale and args.strict:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

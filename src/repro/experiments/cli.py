@@ -41,6 +41,7 @@ import sys
 import time
 from pathlib import Path
 
+from ..analysis.runtime import DeterminismViolation
 from ..common.errors import ConfigurationError
 from ..obs import (
     EventTracer,
@@ -295,6 +296,15 @@ def build_parser() -> argparse.ArgumentParser:
         default="info",
         help="diagnostic verbosity on stderr (default: info)",
     )
+    obs.add_argument(
+        "--sanitize",
+        action="store_true",
+        help=(
+            "run under the determinism guard: wall-clock/unseeded-random/"
+            "uuid/urandom reads from simulation code raise instead of "
+            "silently skewing keyed results (see repro-sanitize)"
+        ),
+    )
     return parser
 
 
@@ -488,6 +498,15 @@ def main(argv: list[str] | None = None) -> int:
         logger.error("--resume needs a journal: pass --journal or enable caching")
         return 2
     previous = set_run_options(options)
+    guard = None
+    if args.sanitize:
+        from ..analysis.runtime import DeterminismGuard
+
+        # In-process only: parallel workers are separate interpreters and
+        # run unguarded.  Good enough — every experiment also runs (and is
+        # keyed) identically under --jobs 1.
+        guard = DeterminismGuard()
+        guard.__enter__()
     set_tracer(tracer)
     get_recorder().clear()
     from ..runner import reset_runner_metrics
@@ -544,6 +563,9 @@ def main(argv: list[str] | None = None) -> int:
     except BrokenPipeError:
         # Output piped into a pager/head that closed early: not an error.
         return 0
+    except DeterminismViolation as exc:
+        logger.error("determinism violation under --sanitize: %s", exc)
+        return 2
     except KeyboardInterrupt:
         # Flush what finished, report, and exit with the conventional
         # SIGINT code.  Checkpointed simulations resume on re-run.
@@ -553,6 +575,8 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 130
     finally:
+        if guard is not None:
+            guard.__exit__(None, None, None)
         set_run_options(previous)
         if tracer is not None:
             set_tracer(None)

@@ -21,6 +21,7 @@ from .metrics import (
     COHERENCE_TO_L1_METRICS,
     HIERARCHY_METRIC_NAMES,
     RUNNER_METRIC_NAMES,
+    SANITIZE_METRIC_NAMES,
     SERVE_METRIC_NAMES,
     TLB_METRIC_NAMES,
     CounterMetric,
@@ -65,6 +66,7 @@ __all__ = [
     "HIERARCHY_METRIC_NAMES",
     "LEVELS",
     "RUNNER_METRIC_NAMES",
+    "SANITIZE_METRIC_NAMES",
     "SERVE_METRIC_NAMES",
     "TLB_METRIC_NAMES",
     "CounterMetric",

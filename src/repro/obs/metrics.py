@@ -374,6 +374,17 @@ SERVE_METRIC_NAMES: tuple[str, ...] = (
     "serve.breaker_recovered",
     "serve.batcher_died",
     "serve.drained",
+    "serve.loop_stall",
+)
+
+#: Events the runtime sanitizers count (``repro.analysis.runtime``).
+#: ``sanitize.determinism_violation`` only moves when a
+#: :class:`~repro.analysis.runtime.DeterminismGuard` in ``count`` mode
+#: observes a nondeterminism source being read from guarded code;
+#: ``serve.loop_stall`` (above, a serve metric) is its event-loop
+#: sibling from :class:`~repro.analysis.runtime.LoopStallWatchdog`.
+SANITIZE_METRIC_NAMES: tuple[str, ...] = (
+    "sanitize.determinism_violation",
 )
 
 #: The coherence messages Tables 11-13 count as "percolated to level 1"

@@ -189,7 +189,9 @@ class ResultCache:
         self._pruned = True
         if not self.root.is_dir():
             return
-        for entry in self.root.iterdir():
+        # sorted(): the sweep's removal order is observable (logs,
+        # crash timing under concurrent clears); keep it deterministic.
+        for entry in sorted(self.root.iterdir()):
             if entry.is_dir() and entry.name != self.schema_dir.name:
                 shutil.rmtree(entry, ignore_errors=True)
 

@@ -460,7 +460,10 @@ class Supervisor:
                 attempts=attempts,
                 options=self._options_digest,
                 schema=schema_hash(),
-                elapsed_s=perf_counter() - state.enqueued,
+                # elapsed_s is timing *metadata* about the attempt, not
+                # part of the journal entry's identity; --resume keys
+                # only on (key, outcome, options, schema).
+                elapsed_s=perf_counter() - state.enqueued,  # rps: ignore[RPS102]
                 position=position,
             )
         )

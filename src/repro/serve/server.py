@@ -442,6 +442,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("debug", "info", "warning", "error"),
         default="info",
     )
+    obs.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="install the event-loop stall watchdog (dumps the loop "
+        "thread's stack and counts serve.loop_stall on stalls)",
+    )
     parser.add_argument(
         "--allow-chaos",
         action="store_true",
@@ -513,16 +519,31 @@ def _flush_metrics(path: str | None) -> None:
 
 
 async def serve_main(args: argparse.Namespace) -> int:
-    app, scheduler = _build_app(args)
+    # Off-loop: building the app reads every schema source file and
+    # shells out for the git revision — blocking I/O that must not run
+    # on the loop even during startup (repro-sanitize RPS201).
+    app, scheduler = await asyncio.to_thread(_build_app, args)
     await scheduler.start()
+    watchdog = None
+    if args.sanitize:
+        from ..analysis.runtime import LoopStallWatchdog
+
+        watchdog = LoopStallWatchdog(
+            asyncio.get_running_loop(), registry=serve_metrics()
+        )
+        watchdog.start()
     try:
         server = await asyncio.start_server(app.handle, args.host, args.port)
     except OSError as exc:
         logger.error("cannot bind %s:%d: %s", args.host, args.port, exc)
+        if watchdog is not None:
+            watchdog.stop()
         return 1
     port = server.sockets[0].getsockname()[1]
     if args.port_file:
-        Path(args.port_file).write_text(f"{port}\n", encoding="utf-8")
+        await asyncio.to_thread(
+            Path(args.port_file).write_text, f"{port}\n", encoding="utf-8"
+        )
     logger.info(
         "repro-serve listening on %s:%d (workers=%d, cache=%s)",
         args.host,
@@ -544,7 +565,9 @@ async def serve_main(args: argparse.Namespace) -> int:
     await asyncio.sleep(0.05)
     server.close()
     await server.wait_closed()
-    _flush_metrics(args.metrics_out)
+    if watchdog is not None:
+        watchdog.stop()
+    await asyncio.to_thread(_flush_metrics, args.metrics_out)
     logger.info("drained cleanly; exiting")
     return 0
 

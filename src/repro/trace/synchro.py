@@ -64,7 +64,10 @@ def thread_files(directory: str | Path) -> list[tuple[int, Path]]:
     """``(tid, path)`` pairs for every thread event file, tid-sorted."""
     directory = Path(directory)
     found: list[tuple[int, Path]] = []
-    for path in directory.iterdir():
+    # sorted(): iterdir order is filesystem-dependent, and the round-
+    # robin lowering interleaves threads in list order — an unsorted
+    # walk would make replay output depend on inode layout.
+    for path in sorted(directory.iterdir()):
         match = THREAD_FILE_RE.match(path.name)
         if match:
             found.append((int(match.group(1)), path))
